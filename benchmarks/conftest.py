@@ -1,0 +1,45 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md section 4 for the index).  Rendered tables are
+printed and also written to ``benchmarks/_results/`` so EXPERIMENTS.md
+can reference a stable artifact.
+"""
+
+import os
+
+import pytest
+
+from repro.isa.base import get_bundle
+from repro.synth import SynthOptions, synthesize
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "_results")
+
+ISAS = ("alpha", "arm", "ppc")
+
+_GEN_CACHE = {}
+
+
+def generator(isa: str, buildset: str, options: SynthOptions | None = None):
+    key = (isa, buildset, options)
+    if key not in _GEN_CACHE:
+        _GEN_CACHE[key] = synthesize(get_bundle(isa).load_spec(), buildset, options)
+    return _GEN_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Print a rendered table and persist it under _results/."""
+
+    def _publish(name: str, text: str) -> None:
+        print("\n" + text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+    return _publish

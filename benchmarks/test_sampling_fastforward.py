@@ -1,0 +1,83 @@
+"""Experiment A3 — the sampling motivation from SI / SII-C.
+
+"Timing simulators which support sampling ... 'fast-forward' through the
+rest of the time, performing only functional simulation ... functional
+simulation can be the bottleneck for simulator speed."  With the
+single-specification principle the fast-forward interface is just a
+second buildset.  We compare sampling with a Block/Min fast-forward
+interface against running the detailed Step-driven pipeline everywhere.
+"""
+
+import time
+
+from repro.harness import render_table
+from repro.isa.base import get_bundle
+from repro.sysemu.loader import load_image
+from repro.sysemu.syscalls import OSEmulator
+from repro.timing import SamplingSimulator, TimingDirectedSimulator
+from repro.workloads import SUITE, assemble_kernel
+
+from conftest import generator
+
+ISA = "alpha"
+KERNEL = SUITE["checksum"]
+N = 2500
+
+
+def _measure():
+    bundle = get_bundle(ISA)
+    image = assemble_kernel(ISA, KERNEL, N)
+
+    detailed = TimingDirectedSimulator(
+        generator(ISA, "step_all"), OSEmulator(bundle.abi)
+    )
+    load_image(detailed.state, image, bundle.abi)
+    start = time.perf_counter()
+    detailed_report = detailed.run(100_000_000)
+    detailed_elapsed = time.perf_counter() - start
+
+    sampler = SamplingSimulator(
+        generator(ISA, "step_all"),
+        generator(ISA, "block_min"),
+        syscall_handler=OSEmulator(bundle.abi),
+        detail_window=150,
+        fastforward_window=1350,  # 10% detailed, as SMARTS-style sampling
+    )
+    load_image(sampler.state, image, bundle.abi)
+    # warm the fast-forward code cache so translation cost (amortized in
+    # any long run) does not dominate this short one
+    snap = sampler.state.snapshot()
+    sampler.run(100_000_000)
+    sampler.state.restore(snap)
+    sampling_report = sampler.run(100_000_000)
+    return detailed_report, detailed_elapsed, sampling_report
+
+
+def test_sampling_speedup(benchmark, publish):
+    detailed_report, detailed_elapsed, sampling_report = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    speedup = detailed_elapsed / sampling_report.elapsed
+    detailed_cpi = detailed_report.cpi
+    sampled_cpi = sampling_report.estimated_cpi
+    rows = [
+        ["detailed everywhere (Step/All)", detailed_report.instructions,
+         round(detailed_elapsed, 3), round(detailed_cpi, 3)],
+        ["sampling (10% Step/All + 90% Block/Min)",
+         sampling_report.instructions, round(sampling_report.elapsed, 3),
+         round(sampled_cpi, 3)],
+    ]
+    publish(
+        "sampling_fastforward",
+        render_table(
+            "A3: sampling with a tailored fast-forward interface (Alpha)",
+            ["Configuration", "Instructions", "Seconds", "CPI estimate"],
+            rows,
+            float_format="{:.3f}",
+        ),
+    )
+    print(f"\nsampling wall-clock speedup: {speedup:.2f}x")
+    assert sampling_report.exit_status is not None
+    assert speedup > 2.0
+    # the sampled CPI estimate stays close to ground truth
+    assert abs(sampled_cpi - detailed_cpi) / detailed_cpi < 0.25

@@ -1,0 +1,98 @@
+"""Experiment T2 — Table II: simulation speed (MIPS) per interface.
+
+Paper (Alpha column): Block/Min/No 37.8 ... Step/All/Yes 2.62, a 14.4x
+spread.  Absolute MIPS are not comparable (CPython vs compiled LLVM
+translation on a 2 GHz Opteron); the properties to reproduce are the
+*orderings* and the overall spread:
+
+* semantic detail dominates: Block > One > Step at equal information;
+* informational detail costs: Min >= Decode >= All at equal semantics;
+* speculation support always costs something;
+* the lowest-detail interface is many times faster than the
+  highest-detail one.
+"""
+
+import pytest
+
+from repro.harness import (
+    INTERFACE_GRID,
+    bench_scale,
+    measure_buildset,
+    render_table,
+    table2,
+)
+
+from conftest import ISAS
+
+_RESULTS = {}
+
+
+def ordered(isa: str, faster: str, slower: str, slack: float = 1.0) -> bool:
+    """Check a speed ordering; on violation, re-measure the two
+    configurations back-to-back (shared-machine noise between distant
+    cells of the grid is the common cause of spurious inversions)."""
+    if _RESULTS[(faster, isa)].mips > _RESULTS[(slower, isa)].mips * slack:
+        return True
+    again_fast = measure_buildset(isa, faster).mips
+    again_slow = measure_buildset(isa, slower).mips
+    return again_fast > again_slow * slack
+
+
+def test_table2_measure(benchmark, publish):
+    grid = benchmark.pedantic(
+        table2, kwargs={"isas": ISAS}, rounds=1, iterations=1
+    )
+    _RESULTS.update(grid)
+    rows = []
+    for buildset, semantic, info, spec in INTERFACE_GRID:
+        row = [f"{semantic}/{info}/{spec}"]
+        for isa in ISAS:
+            row.append(round(grid[(buildset, isa)].mips, 3))
+        rows.append(row)
+    publish(
+        "table2_simulation_speed",
+        render_table(
+            f"Table II (analogue): simulation speed in MIPS "
+            f"(geomean over kernels, scale={bench_scale()})",
+            ["Interface (sem/info/spec)"] + list(ISAS),
+            rows,
+            float_format="{:.3f}",
+        ),
+    )
+
+
+@pytest.mark.parametrize("isa", ISAS)
+def test_semantic_detail_ordering(benchmark, isa):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _RESULTS, "run test_table2_measure first (file order does this)"
+    # Block > One > Step at the same informational level.
+    assert ordered(isa, "block_min", "one_min")
+    assert ordered(isa, "block_all", "one_all")
+    assert ordered(isa, "one_all", "step_all")
+
+
+@pytest.mark.parametrize("isa", ISAS)
+def test_informational_detail_ordering(benchmark, isa):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # More information never helps; allow 10% noise at this scale.
+    assert ordered(isa, "block_min", "block_all", slack=0.95)
+    assert ordered(isa, "one_min", "one_all", slack=0.9)
+
+
+@pytest.mark.parametrize("isa", ISAS)
+def test_speculation_costs(benchmark, isa):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert ordered(isa, "one_all", "one_all_spec")
+    assert ordered(isa, "block_all", "block_all_spec")
+    assert ordered(isa, "step_all", "step_all_spec")
+
+
+@pytest.mark.parametrize("isa", ISAS)
+def test_overall_spread_is_large(benchmark, isa):
+    """The paper's headline: lowest detail up to 14.4x faster than
+    highest.  We require at least ~5x, and report the actual number."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mips = {bs: _RESULTS[(bs, isa)].mips for bs, *_ in INTERFACE_GRID}
+    spread = mips["block_min"] / mips["step_all_spec"]
+    print(f"\n{isa}: lowest/highest detail speed ratio = {spread:.1f}x")
+    assert spread > 5.0

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tailoring a new interface in a dozen lines (the paper's headline claim).
+
+"The amount of time and effort required to achieve these benefits is
+trivial; ... this 14.4x performance benefit can be obtained by expending
+only minutes of development time writing about a dozen lines of code."
+
+We take the stock Alpha description and add a brand-new interface that a
+hypothetical cache-study timing simulator wants: one call per basic
+block, reporting ONLY effective addresses and next PCs.  That is 6 lines
+of ADL.  No instruction semantics are touched, nothing is revalidated
+beyond the interface itself, and the tailored simulator runs much faster
+than the everything-visible one.
+
+Run:  python examples/tailor_an_interface.py
+"""
+
+import time
+
+from repro import get_bundle, load_isa, synthesize
+from repro.adl import analyze, parse_files, parse_source
+from repro.sysemu import OSEmulator, load_image
+from repro.workloads import SUITE, assemble_kernel
+
+# The entire cost of the new interface: -----------------------------------
+NEW_INTERFACE = """
+buildset cache_study {
+  speculation off;
+  visibility hide all;
+  visibility show effective_addr;
+  entrypoint block do_block = full_pipe;
+}
+"""
+# --------------------------------------------------------------------------
+
+
+def make_spec_with_new_interface():
+    bundle = get_bundle("alpha")
+    decls = parse_files(bundle.description_paths())
+    decls += parse_source(NEW_INTERFACE, "<cache_study>")
+    return bundle, analyze(decls)
+
+
+def measure(generated, bundle, kernel, n) -> tuple[float, int]:
+    image = assemble_kernel("alpha", kernel, n)
+    sim = generated.make(syscall_handler=OSEmulator(bundle.abi))
+    load_image(sim.state, image, bundle.abi)
+    snapshot = sim.state.snapshot()
+    sim.run(100_000_000)  # warm translation caches
+    sim.state.restore(snapshot)
+    start = time.perf_counter()
+    result = sim.run(100_000_000)
+    return time.perf_counter() - start, result.executed
+
+
+def main() -> None:
+    bundle, spec = make_spec_with_new_interface()
+    lines = len([l for l in NEW_INTERFACE.splitlines() if l.strip()])
+    print(f"added interface 'cache_study' in {lines} lines of ADL")
+    print(f"spec now has {len(spec.buildsets)} interfaces\n")
+
+    kernel = SUITE["memcopy"]
+    n = 2000
+    for name in ("one_all", "cache_study"):
+        generated = synthesize(spec, name)
+        elapsed, executed = measure(generated, bundle, kernel, n)
+        print(f"{name:12s}: {executed} instructions in {elapsed:.3f}s "
+              f"({executed / elapsed / 1e6:.2f} MIPS)")
+
+    # The tailored interface still reports what the cache study needs:
+    generated = synthesize(spec, "cache_study")
+    sim = generated.make(syscall_handler=OSEmulator(bundle.abi))
+    image = assemble_kernel("alpha", kernel, 50)
+    load_image(sim.state, image, bundle.abi)
+    addresses = []
+    fields = generated.plan.trace_fields
+    ea_index = fields.index("effective_addr")
+    while len(addresses) < 8:
+        sim.di.count = 0
+        sim.do_block(sim.di)
+        addresses += [
+            rec[ea_index] for rec in sim.di.trace if rec[ea_index] is not None
+        ]
+    print("\nfirst data addresses seen by the cache study:",
+          [hex(a) for a in addresses[:8]])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro: single-specification functional-to-timing simulator synthesis.
+
+A from-scratch reproduction of Penry, "A Single-Specification Principle
+for Functional-to-Timing Simulator Interface Design" (ISPASS 2011).
+
+Quickstart::
+
+    from repro import get_bundle, synthesize, OSEmulator, load_image
+
+    bundle = get_bundle("alpha")            # ADL spec + assembler + ABI
+    spec = bundle.load_spec()               # the single specification
+    generated = synthesize(spec, "one_all") # pick an interface (buildset)
+    os_emu = OSEmulator(bundle.abi)
+    sim = generated.make(syscall_handler=os_emu)
+    image = bundle.make_assembler().assemble(SOURCE, origin=0x1000)
+    load_image(sim.state, image, bundle.abi)
+    sim.run(1_000_000)
+"""
+
+from repro.adl import IsaSpec, load_isa, load_isa_source
+from repro.arch import ArchState, ExitProgram
+from repro.isa import available_isas, get_bundle
+from repro.synth import (
+    GeneratedSimulator,
+    RunResult,
+    SynthOptions,
+    SynthesisError,
+    SynthesizedSimulator,
+    synthesize,
+)
+from repro.sysemu import OSEmulator, ProgramImage, load_image
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchState",
+    "ExitProgram",
+    "GeneratedSimulator",
+    "IsaSpec",
+    "OSEmulator",
+    "ProgramImage",
+    "RunResult",
+    "SynthOptions",
+    "SynthesisError",
+    "SynthesizedSimulator",
+    "available_isas",
+    "get_bundle",
+    "load_image",
+    "load_isa",
+    "load_isa_source",
+    "synthesize",
+]

@@ -1,0 +1,59 @@
+"""LIS-like Architecture Description Language front end.
+
+Typical use::
+
+    from repro.adl import load_isa
+    spec = load_isa(["alpha.lis", "alpha_os.lis", "alpha_buildsets.lis"])
+"""
+
+from repro.adl.analyzer import analyze
+from repro.adl.errors import (
+    ADLError,
+    AnalysisError,
+    LexError,
+    ParseError,
+    SnippetError,
+    SourceLoc,
+)
+from repro.adl.parser import parse_files, parse_source
+from repro.adl.spec import (
+    ALWAYS_VISIBLE,
+    BUILTIN_FIELDS,
+    Buildset,
+    Entrypoint,
+    Field,
+    Instruction,
+    IsaSpec,
+)
+
+
+def load_isa(paths: list[str]) -> IsaSpec:
+    """Parse and analyze a list of ADL files (later files may override)."""
+    return analyze(parse_files(list(paths)))
+
+
+def load_isa_source(source: str, filename: str = "<adl>") -> IsaSpec:
+    """Parse and analyze a single ADL source string."""
+    return analyze(parse_source(source, filename))
+
+
+__all__ = [
+    "ADLError",
+    "ALWAYS_VISIBLE",
+    "AnalysisError",
+    "BUILTIN_FIELDS",
+    "Buildset",
+    "Entrypoint",
+    "Field",
+    "Instruction",
+    "IsaSpec",
+    "LexError",
+    "ParseError",
+    "SnippetError",
+    "SourceLoc",
+    "analyze",
+    "load_isa",
+    "load_isa_source",
+    "parse_files",
+    "parse_source",
+]

@@ -1,0 +1,638 @@
+"""Semantic analysis: raw declarations -> :class:`repro.adl.spec.IsaSpec`.
+
+The analyzer enforces the single-specification discipline:
+
+* every field, operand and action is declared exactly once;
+* later ``action`` declarations override earlier ones for the same
+  (target, action) pair — this is how an OS-emulation overlay file
+  replaces the semantics of the syscall instruction, exactly as §V.A of
+  the paper describes;
+* accessor snippets are instantiated per operand slot, turning the
+  generic ``index``/``value`` names into the slot's ``<slot>_id`` and
+  value fields;
+* buildsets resolve their visibility lists and entrypoint action lists
+  against the specification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.adl import snippets, syntax as syn
+from repro.adl.errors import AnalysisError, SourceLoc
+from repro.adl.spec import (
+    ALWAYS_VISIBLE,
+    BUILTIN_FIELDS,
+    Accessor,
+    Bitfield,
+    Buildset,
+    Entrypoint,
+    Field,
+    Format,
+    Instruction,
+    IsaSpec,
+    OperandBinding,
+    OperandSlot,
+)
+from repro.arch.registers import RegisterFileDef, SpecialRegisterDef, width_of
+from repro.ops import PURE_NAMESPACE
+
+_FIELD_TYPES = {"u8", "u16", "u32", "u64", "bool"}
+
+
+def _field_width_ok(type_name: str) -> bool:
+    return type_name in _FIELD_TYPES
+
+
+class _Collector:
+    """First pass: bucket declarations and reject duplicates."""
+
+    def __init__(self, decls: list[syn.Decl]) -> None:
+        self.isa_name = "unnamed"
+        self.endian = "little"
+        self.ilen = 4
+        self.regfiles: dict[str, syn.RegfileDecl] = {}
+        self.sregs: dict[str, syn.SregDecl] = {}
+        self.fields: dict[str, syn.FieldDecl] = {}
+        self.formats: dict[str, syn.FormatDecl] = {}
+        self.accessors: dict[str, syn.AccessorDecl] = {}
+        self.operandnames: dict[str, syn.OperandNameDecl] = {}
+        self.classes: list[str] = []
+        self.operands: list[syn.OperandAttachDecl] = []
+        self.actions: dict[tuple[str, str], syn.ActionDecl] = {}  # last wins
+        self.action_order: tuple[str, ...] | None = None
+        self.instructions: dict[str, syn.InstructionDecl] = {}
+        self.groups: dict[str, syn.GroupDecl] = {}
+        self.helpers: dict[str, syn.HelperDecl] = {}
+        self.predicate: syn.PredicateDecl | None = None
+        self.buildsets: dict[str, syn.BuildsetDecl] = {}
+        for decl in decls:
+            self._add(decl)
+
+    def _unique(self, table: dict, key: str, decl: syn.Decl, what: str) -> None:
+        if key in table:
+            raise AnalysisError(f"duplicate {what} {key!r}", decl.loc)
+        table[key] = decl
+
+    def _add(self, decl: syn.Decl) -> None:
+        if isinstance(decl, syn.IsaDecl):
+            self.isa_name = decl.name
+        elif isinstance(decl, syn.EndianDecl):
+            self.endian = decl.value
+        elif isinstance(decl, syn.IlenDecl):
+            if decl.value not in (2, 4, 8):
+                raise AnalysisError("ilen must be 2, 4 or 8 bytes", decl.loc)
+            self.ilen = decl.value
+        elif isinstance(decl, syn.RegfileDecl):
+            self._unique(self.regfiles, decl.name, decl, "register file")
+        elif isinstance(decl, syn.SregDecl):
+            self._unique(self.sregs, decl.name, decl, "special register")
+        elif isinstance(decl, syn.FieldDecl):
+            self._unique(self.fields, decl.name, decl, "field")
+        elif isinstance(decl, syn.FormatDecl):
+            self._unique(self.formats, decl.name, decl, "format")
+        elif isinstance(decl, syn.AccessorDecl):
+            self._unique(self.accessors, decl.name, decl, "accessor")
+        elif isinstance(decl, syn.OperandNameDecl):
+            self._unique(self.operandnames, decl.name, decl, "operand name")
+        elif isinstance(decl, syn.ClassDecl):
+            if decl.name in self.classes:
+                raise AnalysisError(f"duplicate class {decl.name!r}", decl.loc)
+            self.classes.append(decl.name)
+        elif isinstance(decl, syn.OperandAttachDecl):
+            self.operands.append(decl)
+        elif isinstance(decl, syn.ActionDecl):
+            self.actions[(decl.target, decl.action)] = decl  # override allowed
+        elif isinstance(decl, syn.ActionsOrderDecl):
+            if self.action_order is not None:
+                raise AnalysisError("duplicate 'actions' order declaration", decl.loc)
+            if len(set(decl.names)) != len(decl.names):
+                raise AnalysisError("'actions' list contains duplicates", decl.loc)
+            self.action_order = decl.names
+        elif isinstance(decl, syn.InstructionDecl):
+            self._unique(self.instructions, decl.name, decl, "instruction")
+        elif isinstance(decl, syn.GroupDecl):
+            self._unique(self.groups, decl.name, decl, "group")
+        elif isinstance(decl, syn.HelperDecl):
+            self.helpers[decl.name] = decl  # override allowed? keep last
+        elif isinstance(decl, syn.PredicateDecl):
+            self.predicate = decl
+        elif isinstance(decl, syn.BuildsetDecl):
+            self.buildsets[decl.name] = decl  # later file may redefine
+        else:  # pragma: no cover - parser produces only known decls
+            raise AnalysisError(f"unhandled declaration {type(decl).__name__}", decl.loc)
+
+
+def analyze(decls: list[syn.Decl]) -> IsaSpec:
+    """Resolve declarations into a validated :class:`IsaSpec`."""
+    col = _Collector(decls)
+    if col.action_order is None:
+        raise AnalysisError("missing 'actions' order declaration")
+
+    # -- register files and special registers ------------------------------
+    regfiles = {
+        name: RegisterFileDef(name, decl.count, _checked_type(decl.type, decl.loc))
+        for name, decl in col.regfiles.items()
+    }
+    sregs = {
+        name: SpecialRegisterDef(name, _checked_type(decl.type, decl.loc))
+        for name, decl in col.sregs.items()
+    }
+
+    # -- fields ------------------------------------------------------------
+    fields: dict[str, Field] = {
+        name: Field(name, type_name, builtin=True)
+        for name, type_name in _builtin_fields(col.ilen).items()
+    }
+    for name, decl in col.fields.items():
+        if name in fields:
+            raise AnalysisError(f"field {name!r} shadows a builtin field", decl.loc)
+        if name in regfiles or name in sregs:
+            raise AnalysisError(
+                f"field {name!r} collides with a register declaration", decl.loc
+            )
+        fields[name] = Field(name, _checked_type(decl.type, decl.loc))
+    for name, decl in col.operandnames.items():
+        id_field = f"{name}_id"
+        if id_field in fields:
+            raise AnalysisError(
+                f"operand id field {id_field!r} collides with an existing field",
+                decl.loc,
+            )
+        fields[id_field] = Field(id_field, "u32", slot=name)
+        if decl.value_field not in fields:
+            raise AnalysisError(
+                f"operand {name!r} value field {decl.value_field!r} is not declared",
+                decl.loc,
+            )
+        fields[decl.value_field] = Field(
+            decl.value_field, fields[decl.value_field].type, slot=name
+        )
+
+    # -- formats -------------------------------------------------------------
+    formats: dict[str, Format] = {}
+    word_bits = col.ilen * 8
+    for name, decl in col.formats.items():
+        bitfields: dict[str, Bitfield] = {}
+        for bf in decl.bitfields:
+            if bf.hi >= word_bits:
+                raise AnalysisError(
+                    f"bitfield {bf.name} exceeds {word_bits}-bit instruction word",
+                    bf.loc,
+                )
+            if bf.name in bitfields:
+                raise AnalysisError(
+                    f"duplicate bitfield {bf.name!r} in format {name!r}", bf.loc
+                )
+            if bf.name in fields or bf.name in regfiles or bf.name in sregs:
+                raise AnalysisError(
+                    f"bitfield {bf.name!r} collides with a field or register name",
+                    bf.loc,
+                )
+            bitfields[bf.name] = Bitfield(bf.name, bf.hi, bf.lo, bf.signed)
+        formats[name] = Format(name, bitfields)
+
+    # -- helpers ---------------------------------------------------------------
+    helpers: dict[str, object] = {}
+    helper_sources: dict[str, str] = {}
+    for name, decl in col.helpers.items():
+        namespace: dict[str, object] = dict(PURE_NAMESPACE)
+        namespace.update(helpers)
+        try:
+            exec(compile(decl.snippet, str(decl.snippet_loc), "exec"), namespace)
+        except Exception as exc:
+            raise AnalysisError(f"helper {name!r} failed to execute: {exc}", decl.loc)
+        if name not in namespace or not callable(namespace[name]):
+            raise AnalysisError(
+                f"helper snippet must define a function named {name!r}", decl.loc
+            )
+        helpers[name] = namespace[name]
+        helper_sources[name] = decl.snippet
+
+    # -- accessors ----------------------------------------------------------
+    accessors: dict[str, Accessor] = {}
+    for name, decl in col.accessors.items():
+        accessors[name] = Accessor(
+            name=name,
+            params=decl.params,
+            decode=tuple(snippets.parse_snippet(decl.decode, decl.loc))
+            if decl.decode
+            else (),
+            read=tuple(snippets.parse_snippet(decl.read, decl.loc))
+            if decl.read
+            else (),
+            write=tuple(snippets.parse_snippet(decl.write, decl.loc))
+            if decl.write
+            else (),
+            loc=decl.loc,
+        )
+
+    # -- operand slots ---------------------------------------------------------
+    operand_slots: dict[str, OperandSlot] = {}
+    for name, decl in col.operandnames.items():
+        for action in (decl.decode_action, decl.access_action):
+            if action not in col.action_order:
+                raise AnalysisError(
+                    f"operand {name!r} references unknown action {action!r}", decl.loc
+                )
+        operand_slots[name] = OperandSlot(
+            name, decl.direction, decl.decode_action, decl.access_action,
+            decl.value_field,
+        )
+
+    # -- operand bindings per target ----------------------------------------
+    known_targets = set(col.classes) | set(col.instructions)
+    bindings_by_target: dict[str, list[OperandBinding]] = {}
+    for decl in col.operands:
+        if decl.target not in known_targets:
+            raise AnalysisError(
+                f"operand target {decl.target!r} is not a class or instruction",
+                decl.loc,
+            )
+        slot = operand_slots.get(decl.opname)
+        if slot is None:
+            raise AnalysisError(f"unknown operand slot {decl.opname!r}", decl.loc)
+        accessor = accessors.get(decl.accessor)
+        if accessor is None:
+            raise AnalysisError(f"unknown accessor {decl.accessor!r}", decl.loc)
+        if len(decl.args) != len(accessor.params):
+            raise AnalysisError(
+                f"accessor {accessor.name!r} expects {len(accessor.params)} "
+                f"argument(s), got {len(decl.args)}",
+                decl.loc,
+            )
+        bindings_by_target.setdefault(decl.target, []).append(
+            OperandBinding(slot, accessor, decl.args, decl.target, decl.loc)
+        )
+
+    # -- user actions: validate targets and action names ----------------------
+    for (target, action), decl in col.actions.items():
+        if target != "*" and target not in known_targets:
+            raise AnalysisError(
+                f"action target {target!r} is not a class or instruction", decl.loc
+            )
+        if action not in col.action_order:
+            raise AnalysisError(
+                f"action name {action!r} is not in the 'actions' order", decl.loc
+            )
+    parsed_actions: dict[tuple[str, str], tuple[ast.stmt, ...]] = {
+        key: tuple(snippets.parse_snippet(decl.snippet, decl.snippet_loc))
+        for key, decl in col.actions.items()
+    }
+
+    # -- instructions --------------------------------------------------------
+    global_names = (
+        set(fields)
+        | set(regfiles)
+        | set(sregs)
+        | set(helpers)
+        | set(snippets.PURE_FUNCTIONS)
+        | set(snippets.EFFECT_FUNCTIONS)
+    )
+    instructions: list[Instruction] = []
+    for name, decl in col.instructions.items():
+        fmt = formats.get(decl.format)
+        if fmt is None:
+            raise AnalysisError(
+                f"instruction {name!r} uses unknown format {decl.format!r}", decl.loc
+            )
+        for cls in decl.classes:
+            if cls not in col.classes:
+                raise AnalysisError(
+                    f"instruction {name!r} references unknown class {cls!r}", decl.loc
+                )
+        patterns: list[tuple[int, int]] = []
+        for alternative in decl.matches:
+            mask = 0
+            value = 0
+            for term in alternative:
+                bitfield = fmt.bitfields.get(term.field)
+                if bitfield is None:
+                    raise AnalysisError(
+                        f"match field {term.field!r} is not in format {fmt.name!r}",
+                        term.loc,
+                    )
+                raw = term.value & ((1 << bitfield.width) - 1)
+                if term.value >= (1 << bitfield.width):
+                    raise AnalysisError(
+                        f"match value {term.value:#x} does not fit bitfield "
+                        f"{term.field!r} ({bitfield.width} bits)",
+                        term.loc,
+                    )
+                term_mask = ((1 << bitfield.width) - 1) << bitfield.lo
+                if mask & term_mask:
+                    raise AnalysisError(
+                        f"duplicate match on bitfield {term.field!r}", term.loc
+                    )
+                mask |= term_mask
+                value |= raw << bitfield.lo
+            if mask == 0:
+                raise AnalysisError(
+                    f"instruction {name!r} has an empty match", decl.loc
+                )
+            patterns.append((mask, value))
+        if not patterns:
+            raise AnalysisError(f"instruction {name!r} has no match terms", decl.loc)
+
+        operands = _resolve_operands(name, decl.classes, bindings_by_target, decl.loc)
+        action_code = _build_action_code(
+            name,
+            decl,
+            fmt,
+            operands,
+            parsed_actions,
+            col.action_order,
+            fields,
+            regfiles,
+            sregs,
+            global_names,
+        )
+        instructions.append(
+            Instruction(
+                name=name,
+                format=fmt,
+                classes=decl.classes,
+                patterns=tuple(patterns),
+                operands=tuple(operands),
+                action_code=action_code,
+            )
+        )
+
+    _check_decode_conflicts(instructions)
+
+    # -- groups (may reference previously-declared groups) -----------------------
+    groups: dict[str, tuple[str, ...]] = {}
+    for name, decl in col.groups.items():
+        expanded: list[str] = []
+        for action in decl.actions:
+            if action in groups:
+                expanded.extend(groups[action])
+            elif action in col.action_order:
+                expanded.append(action)
+            else:
+                raise AnalysisError(
+                    f"group {name!r} references unknown action or group "
+                    f"{action!r}",
+                    decl.loc,
+                )
+        groups[name] = tuple(expanded)
+
+    # -- predicate ----------------------------------------------------------------
+    predicate: tuple[str, str] | None = None
+    if col.predicate is not None:
+        if col.predicate.field not in fields:
+            raise AnalysisError(
+                f"predicate field {col.predicate.field!r} is not declared",
+                col.predicate.loc,
+            )
+        if col.predicate.after_action not in col.action_order:
+            raise AnalysisError(
+                f"predicate action {col.predicate.after_action!r} is unknown",
+                col.predicate.loc,
+            )
+        predicate = (col.predicate.field, col.predicate.after_action)
+
+    # -- buildsets -----------------------------------------------------------------
+    buildsets: dict[str, Buildset] = {}
+    for name, decl in col.buildsets.items():
+        buildsets[name] = _build_buildset(decl, fields, groups, col.action_order)
+
+    return IsaSpec(
+        name=col.isa_name,
+        endian=col.endian,
+        ilen=col.ilen,
+        regfiles=regfiles,
+        sregs=sregs,
+        fields=fields,
+        formats=formats,
+        accessors=accessors,
+        operand_slots=operand_slots,
+        classes=tuple(col.classes),
+        instructions=instructions,
+        action_order=col.action_order,
+        groups=groups,
+        helpers=helpers,
+        helper_sources=helper_sources,
+        predicate=predicate,
+        buildsets=buildsets,
+    )
+
+
+def _checked_type(type_name: str, loc: SourceLoc) -> str:
+    if type_name == "bool":
+        return "u8"
+    try:
+        width_of(type_name)
+    except ValueError:
+        raise AnalysisError(f"unknown type {type_name!r}", loc) from None
+    return type_name
+
+
+def _builtin_fields(ilen: int) -> dict[str, str]:
+    out = dict(BUILTIN_FIELDS)
+    out["instr_bits"] = {2: "u16", 4: "u32", 8: "u64"}[ilen]
+    return out
+
+
+def _resolve_operands(
+    instr_name: str,
+    classes: tuple[str, ...],
+    bindings_by_target: dict[str, list[OperandBinding]],
+    loc: SourceLoc,
+) -> list[OperandBinding]:
+    """Collect operand bindings from classes (in order) then the instruction.
+
+    An instruction-level binding overrides a class-level binding for the
+    same slot; two classes binding the same slot is an error.
+    """
+    by_slot: dict[str, OperandBinding] = {}
+    for cls in classes:
+        for binding in bindings_by_target.get(cls, []):
+            if binding.slot.name in by_slot:
+                raise AnalysisError(
+                    f"instruction {instr_name!r}: operand slot "
+                    f"{binding.slot.name!r} bound by multiple classes",
+                    loc,
+                )
+            by_slot[binding.slot.name] = binding
+    for binding in bindings_by_target.get(instr_name, []):
+        by_slot[binding.slot.name] = binding  # instruction overrides class
+    return list(by_slot.values())
+
+
+def _instantiate_accessor(
+    stmts: tuple[ast.stmt, ...],
+    binding: OperandBinding,
+    fields: dict[str, Field],
+    known: set[str],
+) -> list[ast.stmt]:
+    """Rename an accessor snippet for one operand slot."""
+    if not stmts:
+        return []
+    slot = binding.slot
+    mapping: dict[str, str | ast.expr] = {
+        "index": slot.id_field,
+        "value": slot.value_field,
+    }
+    for param, arg in zip(binding.accessor.params, binding.args):
+        if isinstance(arg, int):
+            mapping[param] = ast.Constant(arg)
+        else:
+            mapping[param] = str(arg)
+    # Rename snippet-private locals so two slots sharing an accessor do
+    # not clash inside one generated function.
+    facts = snippets.analyze_stmts(list(stmts))
+    for local in facts.writes - {"index", "value"} - known:
+        mapping.setdefault(local, f"__{slot.name}_{local}")
+    return snippets.rename_names(list(stmts), mapping, binding.loc)
+
+
+def _build_action_code(
+    instr_name: str,
+    decl: syn.InstructionDecl,
+    fmt: Format,
+    operands: list[OperandBinding],
+    parsed_actions: dict[tuple[str, str], tuple[ast.stmt, ...]],
+    action_order: tuple[str, ...],
+    fields: dict[str, Field],
+    regfiles: dict,
+    sregs: dict,
+    global_names: set[str],
+) -> dict[str, tuple[ast.stmt, ...]]:
+    """Assemble the per-action statement lists for one instruction."""
+    known = global_names | set(fmt.bitfields)
+    code: dict[str, list[ast.stmt]] = {}
+
+    # Operand-generated statements first, in binding order.
+    for binding in operands:
+        slot = binding.slot
+        decode_stmts = _instantiate_accessor(
+            binding.accessor.decode, binding, fields, known
+        )
+        code.setdefault(slot.decode_action, []).extend(decode_stmts)
+        access = (
+            binding.accessor.read if slot.direction == "source"
+            else binding.accessor.write
+        )
+        access_stmts = _instantiate_accessor(access, binding, fields, known)
+        code.setdefault(slot.access_action, []).extend(access_stmts)
+
+    # User snippets: instruction-specific overrides class-provided
+    # overrides wildcard, resolved per action name.
+    for action in action_order:
+        user = parsed_actions.get((instr_name, action))
+        if user is None:
+            for cls in decl.classes:
+                user = parsed_actions.get((cls, action))
+                if user is not None:
+                    break
+        if user is None:
+            user = parsed_actions.get(("*", action))
+        if user is not None:
+            code.setdefault(action, []).extend(
+                ast.parse(ast.unparse(stmt)).body[0] for stmt in user
+            )
+
+    # Validate name usage: anything read must be globally known, a format
+    # bitfield, or written earlier inside the same action's statement list.
+    for action, stmts in code.items():
+        assigned: set[str] = set()
+        for stmt in stmts:
+            facts = snippets.analyze_stmt(stmt)
+            unknown = facts.reads - known - assigned - facts.writes
+            unknown -= {"True", "False", "None"}
+            if unknown:
+                raise AnalysisError(
+                    f"instruction {instr_name!r}, action {action!r}: "
+                    f"unknown name(s) {sorted(unknown)}",
+                    decl.loc,
+                )
+            if facts.unknown_calls - set(snippets.EFFECT_FUNCTIONS) - global_names:
+                bad = facts.unknown_calls - global_names
+                if bad:
+                    raise AnalysisError(
+                        f"instruction {instr_name!r}, action {action!r}: "
+                        f"call to unknown function(s) {sorted(bad)}",
+                        decl.loc,
+                    )
+            assigned |= facts.writes
+    return {action: tuple(stmts) for action, stmts in code.items() if stmts}
+
+
+def _check_decode_conflicts(instructions: list[Instruction]) -> None:
+    seen: dict[tuple[int, int], str] = {}
+    for instr in instructions:
+        for pattern in instr.patterns:
+            if pattern in seen and seen[pattern] != instr.name:
+                raise AnalysisError(
+                    f"instructions {seen[pattern]!r} and {instr.name!r} have "
+                    f"identical decode patterns"
+                )
+            seen[pattern] = instr.name
+
+
+def _build_buildset(
+    decl: syn.BuildsetDecl,
+    fields: dict[str, Field],
+    groups: dict[str, tuple[str, ...]],
+    action_order: tuple[str, ...],
+) -> Buildset:
+    speculation = False
+    visible = set(fields)  # default: show all
+    entrypoints: list[Entrypoint] = []
+    names_seen: set[str] = set()
+    for stmt in decl.statements:
+        if isinstance(stmt, syn.SpeculationStmt):
+            speculation = stmt.enabled
+        elif isinstance(stmt, syn.VisibilityStmt):
+            if not stmt.names:  # "all"
+                visible = set(fields) if stmt.mode == "show" else set(ALWAYS_VISIBLE)
+                continue
+            for name in stmt.names:
+                if name not in fields:
+                    raise AnalysisError(
+                        f"visibility list names unknown field {name!r}", stmt.loc
+                    )
+                if stmt.mode == "show":
+                    visible.add(name)
+                elif name not in ALWAYS_VISIBLE:
+                    visible.discard(name)
+        elif isinstance(stmt, syn.EntrypointStmt):
+            if stmt.name in names_seen:
+                raise AnalysisError(
+                    f"duplicate entrypoint {stmt.name!r} in buildset {decl.name!r}",
+                    stmt.loc,
+                )
+            names_seen.add(stmt.name)
+            expanded: list[str] = []
+            for action in stmt.actions:
+                if action in groups:
+                    expanded.extend(groups[action])
+                elif action in action_order:
+                    expanded.append(action)
+                else:
+                    raise AnalysisError(
+                        f"entrypoint {stmt.name!r} references unknown action or "
+                        f"group {action!r}",
+                        stmt.loc,
+                    )
+            entrypoints.append(Entrypoint(stmt.name, stmt.block, tuple(expanded)))
+        else:  # pragma: no cover
+            raise AnalysisError("unknown buildset statement", stmt.loc)
+    if not entrypoints:
+        raise AnalysisError(f"buildset {decl.name!r} has no entrypoints", decl.loc)
+    if sum(1 for ep in entrypoints if ep.block) > 1 or (
+        any(ep.block for ep in entrypoints) and len(entrypoints) > 1
+    ):
+        raise AnalysisError(
+            f"buildset {decl.name!r}: a block entrypoint must be the only "
+            f"entrypoint",
+            decl.loc,
+        )
+    visible |= set(ALWAYS_VISIBLE)
+    return Buildset(
+        name=decl.name,
+        speculation=speculation,
+        visible=frozenset(visible),
+        entrypoints=tuple(entrypoints),
+    )

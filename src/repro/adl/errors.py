@@ -1,0 +1,42 @@
+"""Diagnostics for the LIS-like architecture description language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A position inside an ADL source file (1-based line/column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class ADLError(Exception):
+    """Base class for every error raised by the ADL front end."""
+
+    def __init__(self, message: str, loc: SourceLoc | None = None) -> None:
+        self.loc = loc
+        self.message = message
+        super().__init__(f"{loc}: {message}" if loc else message)
+
+
+class LexError(ADLError):
+    """Malformed token (unterminated snippet, stray character, ...)."""
+
+
+class ParseError(ADLError):
+    """Token stream does not match the grammar."""
+
+
+class AnalysisError(ADLError):
+    """Well-formed syntax with inconsistent meaning (unknown names, ...)."""
+
+
+class SnippetError(ADLError):
+    """A ``%{ ... %}`` Python snippet failed to parse or is disallowed."""

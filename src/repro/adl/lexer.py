@@ -1,0 +1,185 @@
+"""Tokenizer for the LIS-like ADL.
+
+The language is deliberately C-flavoured (the original LIS embeds C++
+snippets; ours embeds Python snippets inside ``%{ ... %}``).  Comments are
+``//`` to end of line and ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.adl.errors import LexError, SourceLoc
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SNIPPET = "snippet"  # raw Python text captured from %{ ... %}
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+# Multi-character punctuators must come first so maximal munch applies.
+_PUNCTS = ("==", ";", ",", "(", ")", "{", "}", "[", "]", ":", "=", "@", "*", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    loc: SourceLoc
+    value: int | None = None  # numeric value for NUMBER tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}@{self.loc})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Streaming tokenizer over one source string."""
+
+    def __init__(self, source: str, filename: str = "<adl>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def loc(self) -> SourceLoc:
+        return SourceLoc(self.filename, self.line, self.col)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                start = self.loc()
+                self._advance(2)
+                while self.pos < len(src) and not src.startswith("*/", self.pos):
+                    self._advance()
+                if self.pos >= len(src):
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    def _lex_snippet(self) -> Token:
+        start = self.loc()
+        self._advance(2)  # consume %{
+        begin = self.pos
+        depth = 1
+        src = self.source
+        while self.pos < len(src):
+            if src.startswith("%{", self.pos):
+                depth += 1
+                self._advance(2)
+            elif src.startswith("%}", self.pos):
+                depth -= 1
+                if depth == 0:
+                    text = src[begin : self.pos]
+                    self._advance(2)
+                    return Token(TokKind.SNIPPET, text, start)
+                self._advance(2)
+            else:
+                self._advance()
+        raise LexError("unterminated %{ snippet", start)
+
+    def _lex_number(self) -> Token:
+        start = self.loc()
+        begin = self.pos
+        src = self.source
+        if src.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF_":
+                self._advance()
+            text = src[begin : self.pos]
+            if len(text) == 2:
+                raise LexError("hexadecimal literal has no digits", start)
+            return Token(TokKind.NUMBER, text, start, value=int(text, 16))
+        if src.startswith(("0b", "0B"), self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "01_":
+                self._advance()
+            text = src[begin : self.pos]
+            if len(text) == 2:
+                raise LexError("binary literal has no digits", start)
+            return Token(TokKind.NUMBER, text, start, value=int(text, 2))
+        while self.pos < len(src) and src[self.pos].isdigit():
+            self._advance()
+        text = src[begin : self.pos]
+        return Token(TokKind.NUMBER, text, start, value=int(text))
+
+    def _lex_string(self) -> Token:
+        start = self.loc()
+        self._advance()  # opening quote
+        begin = self.pos
+        src = self.source
+        while self.pos < len(src) and src[self.pos] != '"':
+            if src[self.pos] == "\n":
+                raise LexError("unterminated string literal", start)
+            self._advance()
+        if self.pos >= len(src):
+            raise LexError("unterminated string literal", start)
+        text = src[begin : self.pos]
+        self._advance()  # closing quote
+        return Token(TokKind.STRING, text, start)
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokKind.EOF, "", self.loc())
+        src = self.source
+        ch = src[self.pos]
+        if src.startswith("%{", self.pos):
+            return self._lex_snippet()
+        if _is_ident_start(ch):
+            start = self.loc()
+            begin = self.pos
+            while self.pos < len(src) and _is_ident_char(src[self.pos]):
+                self._advance()
+            return Token(TokKind.IDENT, src[begin : self.pos], start)
+        if ch.isdigit():
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string()
+        for punct in _PUNCTS:
+            if src.startswith(punct, self.pos):
+                start = self.loc()
+                self._advance(len(punct))
+                return Token(TokKind.PUNCT, punct, start)
+        raise LexError(f"unexpected character {ch!r}", self.loc())
+
+
+def tokenize(source: str, filename: str = "<adl>") -> list[Token]:
+    """Tokenize an entire source string (EOF token included)."""
+    lexer = Lexer(source, filename)
+    tokens: list[Token] = []
+    while True:
+        token = lexer.next_token()
+        tokens.append(token)
+        if token.kind is TokKind.EOF:
+            return tokens

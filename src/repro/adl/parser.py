@@ -1,0 +1,435 @@
+"""Recursive-descent parser for the LIS-like ADL.
+
+Grammar (EBNF; ``SNIPPET`` is a ``%{ ... %}`` Python block)::
+
+    file        := decl*
+    decl        := isa | endian | ilen | include | regfile | sreg | field
+                 | format | accessor | operandname | class | operand
+                 | action | actions | instruction | group | predicate
+                 | buildset
+    isa         := "isa" IDENT ";"
+    endian      := "endian" ("little" | "big") ";"
+    ilen        := "ilen" NUMBER ";"
+    include     := "include" STRING ";"
+    regfile     := "regfile" IDENT NUMBER IDENT ";"
+    sreg        := "sreg" IDENT IDENT ";"
+    field       := "field" IDENT IDENT ";"
+    format      := "format" IDENT "{" (IDENT "[" NUMBER ":" NUMBER "]"
+                                       ["signed"] ";")* "}"
+    accessor    := "accessor" IDENT "(" [IDENT ("," IDENT)*] ")"
+                   "{" (("decode"|"read"|"write") SNIPPET)* "}"
+    operandname := "operandname" IDENT ("source"|"dest")
+                   "(" IDENT "," IDENT ")" "=" IDENT ";"
+    class       := "class" IDENT ";"
+    operand     := "operand" IDENT IDENT IDENT "(" [arg ("," arg)*] ")" ";"
+    arg         := IDENT | NUMBER
+    action      := "action" (IDENT | "*") "@" IDENT "=" SNIPPET
+    actions     := "actions" IDENT ("," IDENT)* ";"
+    instruction := "instruction" IDENT "format" IDENT [":" IDENT ("," IDENT)*]
+                   "{" ("match" IDENT "==" NUMBER ("," IDENT "==" NUMBER)* ";")* "}"
+    group       := "group" IDENT "=" IDENT ("," IDENT)* ";"
+    predicate   := "predicate" IDENT "after" IDENT ";"
+    buildset    := "buildset" IDENT "{" bstmt* "}"
+    bstmt       := "speculation" ("on"|"off") ";"
+                 | "visibility" ("show"|"hide") ("all" | IDENT ("," IDENT)*) ";"
+                 | "entrypoint" ["block"] IDENT "=" IDENT ("," IDENT)* ";"
+
+``include`` paths are resolved relative to the including file by
+:func:`parse_files`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.adl import syntax as syn
+from repro.adl.errors import ParseError, SourceLoc
+from repro.adl.lexer import Token, TokKind, tokenize
+
+
+class Parser:
+    """Parses one token stream into a list of declarations."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token-stream helpers ---------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokKind.EOF:
+            self._index += 1
+        return token
+
+    def _at_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind is TokKind.PUNCT and token.text == text
+
+    def _at_ident(self, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind is not TokKind.IDENT:
+            return False
+        return text is None or token.text == text
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._next()
+        if token.kind is not TokKind.PUNCT or token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.loc)
+        return token
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        token = self._next()
+        if token.kind is not TokKind.IDENT:
+            raise ParseError(f"expected {what}, found {token.text!r}", token.loc)
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._next()
+        if token.kind is not TokKind.IDENT or token.text != word:
+            raise ParseError(f"expected {word!r}, found {token.text!r}", token.loc)
+        return token
+
+    def _expect_number(self) -> Token:
+        token = self._next()
+        if token.kind is not TokKind.NUMBER:
+            raise ParseError(f"expected number, found {token.text!r}", token.loc)
+        return token
+
+    def _expect_snippet(self) -> Token:
+        token = self._next()
+        if token.kind is not TokKind.SNIPPET:
+            raise ParseError(
+                f"expected %{{ ... %}} snippet, found {token.text!r}", token.loc
+            )
+        return token
+
+    def _ident_list(self) -> tuple[str, ...]:
+        names = [self._expect_ident().text]
+        while self._at_punct(","):
+            self._next()
+            names.append(self._expect_ident().text)
+        return tuple(names)
+
+    # -- declarations -----------------------------------------------------
+
+    def parse_file(self) -> list[syn.Decl]:
+        decls: list[syn.Decl] = []
+        while self._peek().kind is not TokKind.EOF:
+            decls.append(self._parse_decl())
+        return decls
+
+    def _parse_decl(self) -> syn.Decl:
+        token = self._peek()
+        if token.kind is not TokKind.IDENT:
+            raise ParseError(f"expected declaration, found {token.text!r}", token.loc)
+        handler = getattr(self, f"_parse_{token.text}", None)
+        if handler is None:
+            raise ParseError(f"unknown declaration {token.text!r}", token.loc)
+        return handler()
+
+    def _parse_isa(self) -> syn.IsaDecl:
+        loc = self._next().loc
+        name = self._expect_ident("ISA name").text
+        self._expect_punct(";")
+        return syn.IsaDecl(loc, name)
+
+    def _parse_endian(self) -> syn.EndianDecl:
+        loc = self._next().loc
+        token = self._expect_ident("'little' or 'big'")
+        if token.text not in ("little", "big"):
+            raise ParseError(f"endian must be little or big, got {token.text!r}", token.loc)
+        self._expect_punct(";")
+        return syn.EndianDecl(loc, token.text)
+
+    def _parse_ilen(self) -> syn.IlenDecl:
+        loc = self._next().loc
+        value = self._expect_number().value
+        self._expect_punct(";")
+        return syn.IlenDecl(loc, int(value))
+
+    def _parse_include(self) -> syn.IncludeDecl:
+        loc = self._next().loc
+        token = self._next()
+        if token.kind is not TokKind.STRING:
+            raise ParseError("include expects a quoted path", token.loc)
+        self._expect_punct(";")
+        return syn.IncludeDecl(loc, token.text)
+
+    def _parse_regfile(self) -> syn.RegfileDecl:
+        loc = self._next().loc
+        name = self._expect_ident("register file name").text
+        count = int(self._expect_number().value)
+        type_name = self._expect_ident("register type").text
+        self._expect_punct(";")
+        return syn.RegfileDecl(loc, name, count, type_name)
+
+    def _parse_sreg(self) -> syn.SregDecl:
+        loc = self._next().loc
+        name = self._expect_ident("special register name").text
+        type_name = self._expect_ident("register type").text
+        self._expect_punct(";")
+        return syn.SregDecl(loc, name, type_name)
+
+    def _parse_field(self) -> syn.FieldDecl:
+        loc = self._next().loc
+        name = self._expect_ident("field name").text
+        type_name = self._expect_ident("field type").text
+        self._expect_punct(";")
+        return syn.FieldDecl(loc, name, type_name)
+
+    def _parse_format(self) -> syn.FormatDecl:
+        loc = self._next().loc
+        name = self._expect_ident("format name").text
+        self._expect_punct("{")
+        bitfields: list[syn.BitfieldDecl] = []
+        while not self._at_punct("}"):
+            bf_name_tok = self._expect_ident("bitfield name")
+            self._expect_punct("[")
+            hi = int(self._expect_number().value)
+            self._expect_punct(":")
+            lo = int(self._expect_number().value)
+            self._expect_punct("]")
+            signed = False
+            if self._at_ident("signed"):
+                self._next()
+                signed = True
+            self._expect_punct(";")
+            if hi < lo:
+                raise ParseError(
+                    f"bitfield {bf_name_tok.text} has hi < lo", bf_name_tok.loc
+                )
+            bitfields.append(
+                syn.BitfieldDecl(bf_name_tok.text, hi, lo, signed, bf_name_tok.loc)
+            )
+        self._expect_punct("}")
+        return syn.FormatDecl(loc, name, tuple(bitfields))
+
+    def _parse_accessor(self) -> syn.AccessorDecl:
+        loc = self._next().loc
+        name = self._expect_ident("accessor name").text
+        self._expect_punct("(")
+        params: list[str] = []
+        if not self._at_punct(")"):
+            params.extend(self._ident_list())
+        self._expect_punct(")")
+        self._expect_punct("{")
+        parts: dict[str, str] = {}
+        while not self._at_punct("}"):
+            kind_tok = self._expect_ident("'decode', 'read' or 'write'")
+            if kind_tok.text not in ("decode", "read", "write"):
+                raise ParseError(
+                    f"unexpected accessor section {kind_tok.text!r}", kind_tok.loc
+                )
+            if kind_tok.text in parts:
+                raise ParseError(
+                    f"duplicate accessor section {kind_tok.text!r}", kind_tok.loc
+                )
+            parts[kind_tok.text] = self._expect_snippet().text
+        self._expect_punct("}")
+        return syn.AccessorDecl(
+            loc,
+            name,
+            tuple(params),
+            parts.get("decode"),
+            parts.get("read"),
+            parts.get("write"),
+        )
+
+    def _parse_operandname(self) -> syn.OperandNameDecl:
+        loc = self._next().loc
+        name = self._expect_ident("operand slot name").text
+        dir_tok = self._expect_ident("'source' or 'dest'")
+        if dir_tok.text not in ("source", "dest"):
+            raise ParseError(
+                f"operand direction must be source or dest, got {dir_tok.text!r}",
+                dir_tok.loc,
+            )
+        self._expect_punct("(")
+        decode_action = self._expect_ident("decode action name").text
+        self._expect_punct(",")
+        access_action = self._expect_ident("access action name").text
+        self._expect_punct(")")
+        self._expect_punct("=")
+        value_field = self._expect_ident("value field name").text
+        self._expect_punct(";")
+        return syn.OperandNameDecl(
+            loc, name, dir_tok.text, decode_action, access_action, value_field
+        )
+
+    def _parse_class(self) -> syn.ClassDecl:
+        loc = self._next().loc
+        name = self._expect_ident("class name").text
+        self._expect_punct(";")
+        return syn.ClassDecl(loc, name)
+
+    def _parse_operand(self) -> syn.OperandAttachDecl:
+        loc = self._next().loc
+        target = self._expect_ident("class or instruction name").text
+        opname = self._expect_ident("operand slot name").text
+        accessor = self._expect_ident("accessor name").text
+        self._expect_punct("(")
+        args: list[object] = []
+        if not self._at_punct(")"):
+            while True:
+                token = self._next()
+                if token.kind is TokKind.IDENT:
+                    args.append(token.text)
+                elif token.kind is TokKind.NUMBER:
+                    args.append(int(token.value))
+                else:
+                    raise ParseError(
+                        "operand arguments must be identifiers or numbers", token.loc
+                    )
+                if not self._at_punct(","):
+                    break
+                self._next()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return syn.OperandAttachDecl(loc, target, opname, accessor, tuple(args))
+
+    def _parse_action(self) -> syn.ActionDecl:
+        loc = self._next().loc
+        if self._at_punct("*"):
+            target = self._next().text
+        else:
+            target = self._expect_ident("class or instruction name").text
+        self._expect_punct("@")
+        action = self._expect_ident("action name").text
+        self._expect_punct("=")
+        snippet_tok = self._expect_snippet()
+        return syn.ActionDecl(loc, target, action, snippet_tok.text, snippet_tok.loc)
+
+    def _parse_helper(self) -> syn.HelperDecl:
+        loc = self._next().loc
+        name = self._expect_ident("helper function name").text
+        self._expect_punct("=")
+        snippet_tok = self._expect_snippet()
+        return syn.HelperDecl(loc, name, snippet_tok.text, snippet_tok.loc)
+
+    def _parse_actions(self) -> syn.ActionsOrderDecl:
+        loc = self._next().loc
+        names = self._ident_list()
+        self._expect_punct(";")
+        return syn.ActionsOrderDecl(loc, names)
+
+    def _parse_instruction(self) -> syn.InstructionDecl:
+        loc = self._next().loc
+        name = self._expect_ident("instruction name").text
+        self._expect_keyword("format")
+        format_name = self._expect_ident("format name").text
+        classes: tuple[str, ...] = ()
+        if self._at_punct(":"):
+            self._next()
+            classes = self._ident_list()
+        self._expect_punct("{")
+        alternatives: list[tuple[syn.MatchTerm, ...]] = []
+        while not self._at_punct("}"):
+            self._expect_keyword("match")
+            terms: list[syn.MatchTerm] = []
+            while True:
+                field_tok = self._expect_ident("bitfield name")
+                self._expect_punct("==")
+                value = int(self._expect_number().value)
+                terms.append(syn.MatchTerm(field_tok.text, value, field_tok.loc))
+                if not self._at_punct(","):
+                    break
+                self._next()
+            self._expect_punct(";")
+            alternatives.append(tuple(terms))
+        self._expect_punct("}")
+        return syn.InstructionDecl(
+            loc, name, format_name, classes, tuple(alternatives)
+        )
+
+    def _parse_group(self) -> syn.GroupDecl:
+        loc = self._next().loc
+        name = self._expect_ident("group name").text
+        self._expect_punct("=")
+        names = self._ident_list()
+        self._expect_punct(";")
+        return syn.GroupDecl(loc, name, names)
+
+    def _parse_predicate(self) -> syn.PredicateDecl:
+        loc = self._next().loc
+        field_name = self._expect_ident("predicate field").text
+        self._expect_keyword("after")
+        action = self._expect_ident("action name").text
+        self._expect_punct(";")
+        return syn.PredicateDecl(loc, field_name, action)
+
+    def _parse_buildset(self) -> syn.BuildsetDecl:
+        loc = self._next().loc
+        name = self._expect_ident("buildset name").text
+        self._expect_punct("{")
+        statements: list[syn.BuildsetStmt] = []
+        while not self._at_punct("}"):
+            statements.append(self._parse_buildset_stmt())
+        self._expect_punct("}")
+        return syn.BuildsetDecl(loc, name, tuple(statements))
+
+    def _parse_buildset_stmt(self) -> syn.BuildsetStmt:
+        token = self._expect_ident("buildset statement")
+        if token.text == "speculation":
+            mode = self._expect_ident("'on' or 'off'")
+            if mode.text not in ("on", "off"):
+                raise ParseError("speculation must be on or off", mode.loc)
+            self._expect_punct(";")
+            return syn.SpeculationStmt(token.loc, mode.text == "on")
+        if token.text == "visibility":
+            mode = self._expect_ident("'show' or 'hide'")
+            if mode.text not in ("show", "hide"):
+                raise ParseError("visibility must be show or hide", mode.loc)
+            if self._at_ident("all"):
+                self._next()
+                names: tuple[str, ...] = ()
+            else:
+                names = self._ident_list()
+            self._expect_punct(";")
+            return syn.VisibilityStmt(token.loc, mode.text, names)
+        if token.text == "entrypoint":
+            block = False
+            if self._at_ident("block"):
+                self._next()
+                block = True
+            name = self._expect_ident("entrypoint name").text
+            self._expect_punct("=")
+            actions = self._ident_list()
+            self._expect_punct(";")
+            return syn.EntrypointStmt(token.loc, name, block, actions)
+        raise ParseError(f"unknown buildset statement {token.text!r}", token.loc)
+
+
+def parse_source(source: str, filename: str = "<adl>") -> list[syn.Decl]:
+    """Parse one ADL source string into declarations (no include handling)."""
+    return Parser(tokenize(source, filename)).parse_file()
+
+
+def parse_files(paths: list[str]) -> list[syn.Decl]:
+    """Parse several files in order, expanding ``include`` declarations.
+
+    Later declarations override earlier ones during analysis, so the order
+    of ``paths`` matters: ISA description first, then OS/buildset overlays.
+    """
+    decls: list[syn.Decl] = []
+    seen: set[str] = set()
+
+    def load(path: str) -> None:
+        real = os.path.realpath(path)
+        if real in seen:
+            return
+        seen.add(real)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        for decl in parse_source(source, path):
+            if isinstance(decl, syn.IncludeDecl):
+                load(os.path.join(os.path.dirname(path), decl.path))
+            else:
+                decls.append(decl)
+
+    for path in paths:
+        load(path)
+    return decls

@@ -1,0 +1,187 @@
+"""Syntax tree for the LIS-like ADL (pre-analysis declarations).
+
+The parser produces these records verbatim from the source; name
+resolution, overriding, and consistency checks happen later in
+:mod:`repro.adl.analyzer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.errors import SourceLoc
+
+
+@dataclass(frozen=True)
+class Decl:
+    """Base class for top-level declarations."""
+
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class IsaDecl(Decl):
+    name: str
+
+
+@dataclass(frozen=True)
+class EndianDecl(Decl):
+    value: str  # "little" | "big"
+
+
+@dataclass(frozen=True)
+class IlenDecl(Decl):
+    value: int  # instruction length in bytes
+
+
+@dataclass(frozen=True)
+class IncludeDecl(Decl):
+    path: str
+
+
+@dataclass(frozen=True)
+class RegfileDecl(Decl):
+    name: str
+    count: int
+    type: str
+
+
+@dataclass(frozen=True)
+class SregDecl(Decl):
+    name: str
+    type: str
+
+
+@dataclass(frozen=True)
+class FieldDecl(Decl):
+    name: str
+    type: str
+
+
+@dataclass(frozen=True)
+class BitfieldDecl:
+    name: str
+    hi: int
+    lo: int
+    signed: bool
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class FormatDecl(Decl):
+    name: str
+    bitfields: tuple[BitfieldDecl, ...]
+
+
+@dataclass(frozen=True)
+class AccessorDecl(Decl):
+    name: str
+    params: tuple[str, ...]
+    decode: str | None
+    read: str | None
+    write: str | None
+
+
+@dataclass(frozen=True)
+class OperandNameDecl(Decl):
+    name: str
+    direction: str  # "source" | "dest"
+    decode_action: str
+    access_action: str
+    value_field: str
+
+
+@dataclass(frozen=True)
+class ClassDecl(Decl):
+    name: str
+
+
+@dataclass(frozen=True)
+class OperandAttachDecl(Decl):
+    target: str  # class or instruction name
+    opname: str
+    accessor: str
+    args: tuple[object, ...]  # identifiers (str) or integer literals
+
+
+@dataclass(frozen=True)
+class ActionDecl(Decl):
+    target: str  # class name, instruction name, or "*"
+    action: str
+    snippet: str
+    snippet_loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class ActionsOrderDecl(Decl):
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HelperDecl(Decl):
+    """A pure Python helper function usable from snippets.
+
+    The snippet must define a function whose name matches ``name``; it is
+    executed once at synthesis time and bound into generated modules.
+    """
+
+    name: str
+    snippet: str
+    snippet_loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class MatchTerm:
+    field: str
+    value: int
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class InstructionDecl(Decl):
+    name: str
+    format: str
+    classes: tuple[str, ...]
+    #: decode alternatives (OR); the terms within one alternative AND
+    matches: tuple[tuple[MatchTerm, ...], ...]
+
+
+@dataclass(frozen=True)
+class GroupDecl(Decl):
+    name: str
+    actions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PredicateDecl(Decl):
+    field: str
+    after_action: str
+
+
+@dataclass(frozen=True)
+class BuildsetStmt:
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class SpeculationStmt(BuildsetStmt):
+    enabled: bool
+
+
+@dataclass(frozen=True)
+class VisibilityStmt(BuildsetStmt):
+    mode: str  # "show" | "hide"
+    names: tuple[str, ...]  # empty tuple means "all"
+
+
+@dataclass(frozen=True)
+class EntrypointStmt(BuildsetStmt):
+    name: str
+    block: bool
+    actions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BuildsetDecl(Decl):
+    name: str
+    statements: tuple[BuildsetStmt, ...] = field(default_factory=tuple)

@@ -1,0 +1,25 @@
+"""Architectural-state substrate: memory, registers, faults, state."""
+
+from repro.arch.faults import (
+    ExitProgram,
+    Fault,
+    IllegalInstruction,
+    SimulationError,
+    UnalignedAccess,
+)
+from repro.arch.memory import Memory
+from repro.arch.registers import RegisterFileDef, SpecialRegisterDef
+from repro.arch.state import ArchState, Snapshot
+
+__all__ = [
+    "ArchState",
+    "ExitProgram",
+    "Fault",
+    "IllegalInstruction",
+    "Memory",
+    "RegisterFileDef",
+    "SimulationError",
+    "Snapshot",
+    "SpecialRegisterDef",
+    "UnalignedAccess",
+]

@@ -1,0 +1,62 @@
+"""Fault model shared by every synthesized functional simulator.
+
+The paper's interfaces expose a ``fault`` field at even the minimal
+informational detail level ("address, instruction encoding, next PC,
+*faults*, and simulator context").  We model faults two ways:
+
+* *Recoverable/reportable* conditions are encoded as small integers
+  (:class:`Fault`) written into the dynamic-instruction ``fault`` field so
+  that timing simulators can observe them through the interface.
+* *Simulation-terminating* conditions are Python exceptions derived from
+  :class:`SimulationError` (or :class:`ExitProgram` for a clean guest
+  ``exit``), because no further guest progress is possible.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Fault(enum.IntEnum):
+    """Per-instruction fault codes reported through the interface."""
+
+    NONE = 0
+    ILLEGAL_INSTRUCTION = 1
+    UNALIGNED_ACCESS = 2
+    SYSCALL = 3
+    BREAKPOINT = 4
+    ARITHMETIC = 5
+
+
+class SimulationError(Exception):
+    """Base class for errors that abort simulation."""
+
+
+class IllegalInstruction(SimulationError):
+    """Raised when the decoder cannot match an instruction word."""
+
+    def __init__(self, pc: int, bits: int) -> None:
+        super().__init__(f"illegal instruction {bits:#010x} at pc {pc:#x}")
+        self.pc = pc
+        self.bits = bits
+
+
+class UnalignedAccess(SimulationError):
+    """Raised for a misaligned access on ISAs that require alignment."""
+
+    def __init__(self, addr: int, size: int) -> None:
+        super().__init__(f"unaligned {size}-byte access at {addr:#x}")
+        self.addr = addr
+        self.size = size
+
+
+class ExitProgram(Exception):
+    """Raised by the OS-emulation layer when the guest calls ``exit``.
+
+    Not a :class:`SimulationError`: a guest exit is the normal way for a
+    workload to finish.  Drivers catch it and record ``status``.
+    """
+
+    def __init__(self, status: int) -> None:
+        super().__init__(f"guest exited with status {status}")
+        self.status = status

@@ -1,0 +1,59 @@
+"""Register-file metadata.
+
+The ADL declares register files (``regfile R 32 u64;``) and special
+registers (``sreg lr u32;``).  At runtime a register file is just a Python
+list of unsigned integers — generated code caches the list in a local and
+indexes it directly — so this module only carries the metadata needed to
+build and validate that runtime representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_WIDTHS = {"u8": 8, "u16": 16, "u32": 32, "u64": 64}
+
+
+def width_of(type_name: str) -> int:
+    """Bit width of an ADL scalar type name such as ``u64``."""
+    try:
+        return _WIDTHS[type_name]
+    except KeyError:
+        raise ValueError(f"unknown register type {type_name!r}") from None
+
+
+@dataclass(frozen=True)
+class RegisterFileDef:
+    """A named bank of same-width registers (e.g. the 32 GPRs)."""
+
+    name: str
+    count: int
+    type: str
+
+    @property
+    def width(self) -> int:
+        return width_of(self.type)
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def create(self) -> list[int]:
+        """Materialize the runtime representation (a zeroed list)."""
+        return [0] * self.count
+
+
+@dataclass(frozen=True)
+class SpecialRegisterDef:
+    """A single named register outside any file (LR, CTR, NZCV, ...)."""
+
+    name: str
+    type: str
+
+    @property
+    def width(self) -> int:
+        return width_of(self.type)
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1

@@ -1,0 +1,148 @@
+"""Architectural state container.
+
+One :class:`ArchState` holds everything the ISA manual calls
+architecturally visible: the PC, every register file, every special
+register, and guest memory.  Synthesized simulators mutate it directly;
+timing-first checkers compare two of them; speculation support journals
+mutations into :attr:`ArchState.journal` so they can be rolled back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.arch.memory import Memory
+from repro.arch.registers import RegisterFileDef, SpecialRegisterDef
+
+
+@dataclass
+class Snapshot:
+    """Deep copy of an :class:`ArchState` at one point in time."""
+
+    pc: int
+    rf: dict[str, list[int]]
+    sr: dict[str, int]
+    mem: dict[int, bytes]
+
+
+class ArchState:
+    """Mutable architectural state for one simulated hardware context.
+
+    Parameters
+    ----------
+    regfiles:
+        Register-file declarations from the ISA description.
+    sregs:
+        Special-register declarations from the ISA description.
+    endian:
+        Guest byte order.
+    """
+
+    __slots__ = ("pc", "rf", "sr", "mem", "journal", "_regfile_defs", "_sreg_defs")
+
+    def __init__(
+        self,
+        regfiles: Iterable[RegisterFileDef] = (),
+        sregs: Iterable[SpecialRegisterDef] = (),
+        endian: str = "little",
+    ) -> None:
+        self.pc = 0
+        self._regfile_defs = {rf.name: rf for rf in regfiles}
+        self._sreg_defs = {sr.name: sr for sr in sregs}
+        self.rf: dict[str, list[int]] = {
+            name: rf.create() for name, rf in self._regfile_defs.items()
+        }
+        self.sr: dict[str, int] = {name: 0 for name in self._sreg_defs}
+        self.mem = Memory(endian)
+        # Undo journal for speculation-enabled buildsets: one list of undo
+        # records per speculatively-executed instruction (newest last).
+        self.journal: list[list[tuple[Any, ...]]] = []
+
+    # -- introspection -----------------------------------------------------
+
+    def regfile_def(self, name: str) -> RegisterFileDef:
+        return self._regfile_defs[name]
+
+    def sreg_def(self, name: str) -> SpecialRegisterDef:
+        return self._sreg_defs[name]
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Capture a deep copy of all architectural state."""
+        return Snapshot(
+            pc=self.pc,
+            rf={name: list(regs) for name, regs in self.rf.items()},
+            sr=dict(self.sr),
+            mem=self.mem.snapshot(),
+        )
+
+    def restore(self, snap: Snapshot) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self.pc = snap.pc
+        self.rf = {name: list(regs) for name, regs in snap.rf.items()}
+        self.sr = dict(snap.sr)
+        self.mem.restore(snap.mem)
+        self.journal.clear()
+
+    def copy_architectural_state_from(self, other: "ArchState") -> None:
+        """Reload registers, PC and memory from ``other``.
+
+        Used by timing-first organizations when a mismatch forces the
+        timing model to resynchronize with the functional model.
+        """
+        self.restore(other.snapshot())
+
+    # -- speculation rollback -------------------------------------------------
+
+    def rollback(self, count: int = 1) -> int:
+        """Undo the effects of the last ``count`` journaled instructions.
+
+        Returns the number of instructions actually rolled back (bounded
+        by the journal depth).  Undo records are applied newest-first.
+        """
+        rolled = 0
+        while rolled < count and self.journal:
+            records = self.journal.pop()
+            for record in reversed(records):
+                kind = record[0]
+                if kind == "r":  # register-file write: ('r', file, index, old)
+                    self.rf[record[1]][record[2]] = record[3]
+                elif kind == "s":  # special register: ('s', name, old)
+                    self.sr[record[1]] = record[2]
+                elif kind == "m":  # memory: ('m', addr, size, old)
+                    self.mem.write(record[1], record[2], record[3])
+                elif kind == "p":  # pc: ('p', old)
+                    self.pc = record[1]
+                else:  # pragma: no cover - guarded by codegen
+                    raise ValueError(f"unknown undo record {record!r}")
+            rolled += 1
+        return rolled
+
+    def commit(self, count: int = 1) -> int:
+        """Discard undo records for the oldest ``count`` instructions.
+
+        Called once speculatively-executed instructions are known to be on
+        the correct path; keeps the journal bounded.
+        """
+        committed = min(count, len(self.journal))
+        del self.journal[:committed]
+        return committed
+
+    # -- equality for validation -----------------------------------------------
+
+    def same_architectural_state(self, other: "ArchState") -> bool:
+        """True when PC, registers and memory contents all match."""
+        if self.pc != other.pc or self.rf != other.rf or self.sr != other.sr:
+            return False
+        mine = dict(self.mem.iter_nonzero_pages())
+        theirs = dict(other.mem.iter_nonzero_pages())
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        files = ", ".join(f"{name}[{len(regs)}]" for name, regs in self.rf.items())
+        return f"<ArchState pc={self.pc:#x} {files} sregs={sorted(self.sr)}>"
+
+
+__all__ = ["ArchState", "Snapshot"]

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+::
+
+    python -m repro isas                          # list instruction sets
+    python -m repro interfaces alpha              # list buildsets + detail
+    python -m repro run alpha prog.s              # assemble + run a program
+    python -m repro run alpha prog.s --buildset block_min --max 1000000
+    python -m repro kernels alpha one_min         # run the kernel suite
+    python -m repro disasm alpha prog.s           # assemble + disassemble
+    python -m repro table1                        # Table I analogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.loc import table1
+from repro.harness.tables import render_table
+from repro.iface import InformationalDetail, SemanticDetail
+from repro.isa.base import available_isas, get_bundle
+from repro.isa.disasm import Disassembler
+from repro.synth import synthesize
+from repro.sysemu import OSEmulator, load_image
+from repro.workloads import kernel_names, run_kernel
+
+
+def _cmd_isas(_args) -> int:
+    for isa in available_isas():
+        spec = get_bundle(isa).load_spec()
+        print(f"{isa:8s} {len(spec.instructions):3d} instructions, "
+              f"{len(spec.buildsets)} interfaces, {spec.endian}-endian")
+    return 0
+
+
+def _cmd_interfaces(args) -> int:
+    spec = get_bundle(args.isa).load_spec()
+    rows = []
+    for name, buildset in sorted(spec.buildsets.items()):
+        rows.append(
+            [
+                name,
+                SemanticDetail.of(buildset).value,
+                InformationalDetail.of(buildset, spec).value,
+                "yes" if buildset.speculation else "no",
+                len(buildset.entrypoints),
+            ]
+        )
+    print(
+        render_table(
+            f"Interfaces of {args.isa}",
+            ["buildset", "semantic", "informational", "speculation", "#calls"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _load_program(args):
+    bundle = get_bundle(args.isa)
+    with open(args.program, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    image = bundle.make_assembler().assemble(source, origin=args.origin)
+    return bundle, image
+
+
+def _cmd_run(args) -> int:
+    bundle, image = _load_program(args)
+    generated = synthesize(bundle.load_spec(), args.buildset)
+    os_emu = OSEmulator(bundle.abi, stdin=sys.stdin.buffer.read() if args.stdin else b"")
+    sim = generated.make(syscall_handler=os_emu)
+    load_image(sim.state, image, bundle.abi)
+    result = sim.run(args.max)
+    sys.stdout.write(bytes(os_emu.stdout).decode("latin-1"))
+    sys.stderr.write(bytes(os_emu.stderr).decode("latin-1"))
+    print(
+        f"\n[{args.isa}/{args.buildset}] executed {result.executed} "
+        f"instructions; "
+        + (f"exit status {result.exit_status}" if result.exited
+           else "instruction budget exhausted")
+    )
+    return (result.exit_status or 0) if result.exited else 2
+
+
+def _cmd_disasm(args) -> int:
+    bundle, image = _load_program(args)
+    spec = bundle.load_spec()
+    disasm = Disassembler(spec)
+    for addr, data in image.segments:
+        for offset in range(0, len(data) - len(data) % spec.ilen, spec.ilen):
+            word = int.from_bytes(
+                data[offset : offset + spec.ilen], spec.endian
+            )
+            print(f"{addr + offset:#8x}:  {disasm.disassemble(word)}")
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    generated = synthesize(get_bundle(args.isa).load_spec(), args.buildset)
+    rows = []
+    failures = 0
+    for name in kernel_names():
+        run = run_kernel(generated, args.isa, name)
+        rows.append(
+            [
+                name,
+                run.executed,
+                f"{run.result:#x}",
+                "ok" if run.correct else "WRONG",
+                f"{run.executed / max(run.elapsed, 1e-9) / 1e6:.2f}",
+            ]
+        )
+        failures += 0 if run.correct else 1
+    print(
+        render_table(
+            f"Kernel suite on {args.isa}/{args.buildset}",
+            ["kernel", "instructions", "result", "check", "MIPS"],
+            rows,
+        )
+    )
+    return 1 if failures else 0
+
+
+def _cmd_table1(_args) -> int:
+    rows = [
+        [
+            c.isa,
+            c.isa_description_lines,
+            c.os_support_lines,
+            c.buildset_lines,
+            c.buildsets,
+            round(c.lines_per_buildset, 1),
+            c.instructions,
+        ]
+        for c in table1()
+    ]
+    print(
+        render_table(
+            "Table I (analogue): instruction set characteristics",
+            ["ISA", "ISA descr", "OS support", "buildsets", "#ifaces",
+             "lines/iface", "#instr"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Single-specification simulator synthesis "
+        "(ISPASS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("isas", help="list supported instruction sets")
+
+    p_ifaces = sub.add_parser("interfaces", help="list an ISA's buildsets")
+    p_ifaces.add_argument("isa", choices=available_isas())
+
+    p_run = sub.add_parser("run", help="assemble and run a guest program")
+    p_run.add_argument("isa", choices=available_isas())
+    p_run.add_argument("program", help="assembly source file")
+    p_run.add_argument("--buildset", default="one_min")
+    p_run.add_argument("--origin", type=lambda x: int(x, 0), default=0x1000)
+    p_run.add_argument("--max", type=int, default=100_000_000)
+    p_run.add_argument("--stdin", action="store_true",
+                       help="pass host stdin to the guest")
+
+    p_dis = sub.add_parser("disasm", help="assemble and disassemble a program")
+    p_dis.add_argument("isa", choices=available_isas())
+    p_dis.add_argument("program")
+    p_dis.add_argument("--origin", type=lambda x: int(x, 0), default=0x1000)
+
+    p_kern = sub.add_parser("kernels", help="run the benchmark kernel suite")
+    p_kern.add_argument("isa", choices=available_isas())
+    p_kern.add_argument("buildset", nargs="?", default="one_min")
+
+    sub.add_parser("table1", help="print the Table I analogue")
+    return parser
+
+
+_COMMANDS = {
+    "isas": _cmd_isas,
+    "interfaces": _cmd_interfaces,
+    "run": _cmd_run,
+    "disasm": _cmd_disasm,
+    "kernels": _cmd_kernels,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

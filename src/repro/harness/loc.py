@@ -1,0 +1,64 @@
+"""Table I: instruction-set characteristics.
+
+The paper reports lines of LIS code (excluding comments and blank lines)
+for the ISA description, OS/simulator support, and buildsets, plus the
+approximate instruction count.  We measure the same statistics from our
+ADL description files.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.base import IsaBundle, get_bundle
+
+_LINE_COMMENT = re.compile(r"//.*")
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.S)
+
+
+def count_adl_lines(path: str) -> int:
+    """Non-comment, non-blank lines of one ADL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    source = _BLOCK_COMMENT.sub("", source)
+    count = 0
+    for line in source.splitlines():
+        line = _LINE_COMMENT.sub("", line).strip()
+        if line:
+            count += 1
+    return count
+
+
+@dataclass
+class IsaCharacteristics:
+    """One column of Table I."""
+
+    isa: str
+    isa_description_lines: int
+    os_support_lines: int
+    buildset_lines: int
+    buildsets: int
+    lines_per_buildset: float
+    instructions: int
+
+    @classmethod
+    def measure(cls, isa: str) -> "IsaCharacteristics":
+        bundle: IsaBundle = get_bundle(isa)
+        spec = bundle.load_spec()
+        isa_path, os_path, buildset_path = bundle.description_paths()
+        buildset_lines = count_adl_lines(buildset_path)
+        n_buildsets = len(spec.buildsets)
+        return cls(
+            isa=isa,
+            isa_description_lines=count_adl_lines(isa_path),
+            os_support_lines=count_adl_lines(os_path),
+            buildset_lines=buildset_lines,
+            buildsets=n_buildsets,
+            lines_per_buildset=buildset_lines / n_buildsets if n_buildsets else 0.0,
+            instructions=len(spec.instructions),
+        )
+
+
+def table1(isas: tuple[str, ...] = ("alpha", "arm", "ppc")) -> list[IsaCharacteristics]:
+    return [IsaCharacteristics.measure(isa) for isa in isas]

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+
+def render_table(
+    title: str,
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Fixed-width ASCII table, paper-style."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)

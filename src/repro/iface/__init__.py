@@ -1,0 +1,17 @@
+"""Interface-detail taxonomy (paper SII)."""
+
+from repro.iface.detail import (
+    ORGANIZATIONS,
+    InformationalDetail,
+    OrganizationRequirements,
+    SemanticDetail,
+    check_adequate,
+)
+
+__all__ = [
+    "ORGANIZATIONS",
+    "InformationalDetail",
+    "OrganizationRequirements",
+    "SemanticDetail",
+    "check_adequate",
+]

@@ -1,0 +1,142 @@
+"""The interface-detail taxonomy of paper §II.
+
+Two orthogonal axes describe a functional-to-timing interface:
+
+* **informational detail** — how much information about instruction
+  execution the interface reports (fields made visible);
+* **semantic detail** — how much control over *when* functionality is
+  performed the timing simulator gets (how instruction execution is
+  split across interface calls).
+
+This module names the levels used in the evaluation and records which
+organization of Figure 1 needs which levels, so tooling (and tests) can
+check that a buildset is adequate for an organization before running it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.adl.spec import Buildset, IsaSpec
+
+
+class SemanticDetail(enum.Enum):
+    """How many interface calls execute one instruction."""
+
+    BLOCK = "block"  # one call per basic block
+    ONE = "one"  # one call per instruction
+    STEP = "step"  # several calls (fetch/decode/.../writeback) per instruction
+
+    @classmethod
+    def of(cls, buildset: Buildset) -> "SemanticDetail":
+        return cls(buildset.semantic_detail)
+
+
+class InformationalDetail(enum.Enum):
+    """How much execution information the interface reports."""
+
+    MIN = "min"  # address, encoding, next PC, faults, context
+    DECODE = "decode"  # + operand identifiers, branch info, effective addrs
+    ALL = "all"  # + every field and operand value
+
+    @classmethod
+    def of(cls, buildset: Buildset, spec: IsaSpec) -> "InformationalDetail":
+        visible = buildset.visible
+        all_fields = set(spec.fields)
+        if visible >= all_fields:
+            return cls.ALL
+        decode_fields = {
+            f for f in all_fields if f.endswith("_id")
+        } | {"effective_addr"}
+        if decode_fields & visible == decode_fields & all_fields:
+            return cls.DECODE
+        return cls.MIN
+
+
+@dataclass(frozen=True)
+class OrganizationRequirements:
+    """Interface levels an organization needs (paper §II discussion)."""
+
+    name: str
+    semantic: tuple[SemanticDetail, ...]
+    informational: InformationalDetail
+    needs_speculation: bool
+    notes: str
+
+
+ORGANIZATIONS: dict[str, OrganizationRequirements] = {
+    "functional-first": OrganizationRequirements(
+        name="functional-first",
+        semantic=(SemanticDetail.BLOCK, SemanticDetail.ONE),
+        informational=InformationalDetail.DECODE,
+        needs_speculation=False,
+        notes="low semantic detail, moderate information: decoded operand "
+              "identifiers, branch resolution, effective addresses",
+    ),
+    "timing-directed": OrganizationRequirements(
+        name="timing-directed",
+        semantic=(SemanticDetail.STEP,),
+        informational=InformationalDetail.ALL,
+        needs_speculation=False,
+        notes="very high semantic detail; individual operand fetch and "
+              "writeback under timing control",
+    ),
+    "timing-first": OrganizationRequirements(
+        name="timing-first",
+        semantic=(SemanticDetail.ONE,),
+        informational=InformationalDetail.MIN,
+        needs_speculation=False,
+        notes="one call per instruction; the timing model queries "
+              "architectural state directly for checking",
+    ),
+    "speculative-functional-first": OrganizationRequirements(
+        name="speculative-functional-first",
+        semantic=(SemanticDetail.ONE, SemanticDetail.BLOCK),
+        informational=InformationalDetail.DECODE,
+        needs_speculation=True,
+        notes="functional-first information plus rollback support",
+    ),
+    "fast-forward": OrganizationRequirements(
+        name="fast-forward",
+        semantic=(SemanticDetail.BLOCK,),
+        informational=InformationalDetail.MIN,
+        needs_speculation=False,
+        notes="sampling helper: execute many instructions per call, report "
+              "almost nothing",
+    ),
+}
+
+
+def check_adequate(
+    spec: IsaSpec, buildset: Buildset, organization: str
+) -> list[str]:
+    """Return a list of problems using ``buildset`` for ``organization``.
+
+    Empty list means the interface provides at least the detail the
+    organization requires.  This is advisory — the paper deliberately
+    allows over-detailed interfaces, they are just slower.
+    """
+    req = ORGANIZATIONS[organization]
+    problems: list[str] = []
+    semantic = SemanticDetail.of(buildset)
+    if semantic not in req.semantic:
+        expected = "/".join(s.value for s in req.semantic)
+        problems.append(
+            f"{organization} needs {expected} semantic detail, "
+            f"buildset {buildset.name!r} is {semantic.value}"
+        )
+    info = InformationalDetail.of(buildset, spec)
+    order = [InformationalDetail.MIN, InformationalDetail.DECODE,
+             InformationalDetail.ALL]
+    if order.index(info) < order.index(req.informational):
+        problems.append(
+            f"{organization} needs {req.informational.value} information, "
+            f"buildset {buildset.name!r} provides {info.value}"
+        )
+    if req.needs_speculation and not buildset.speculation:
+        problems.append(
+            f"{organization} needs speculation support, buildset "
+            f"{buildset.name!r} was built without it"
+        )
+    return problems

@@ -1,0 +1,5 @@
+"""Instruction-set bundles: descriptions, assemblers, ABIs."""
+
+from repro.isa.base import IsaBundle, available_isas, get_bundle
+
+__all__ = ["IsaBundle", "available_isas", "get_bundle"]

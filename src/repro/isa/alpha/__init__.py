@@ -1,0 +1,21 @@
+"""Alpha (user-mode integer subset)."""
+
+import os
+
+from repro.isa.alpha.abi import ABI, CALLSYS
+from repro.isa.alpha.assembler import AlphaAssembler
+from repro.isa.base import IsaBundle, register
+
+BUNDLE = register(
+    IsaBundle(
+        name="alpha",
+        package_dir=os.path.dirname(__file__),
+        isa_file="alpha.lis",
+        os_file="alpha_os.lis",
+        buildset_file="alpha_buildsets.lis",
+        abi=ABI,
+        assembler_factory=AlphaAssembler,
+    )
+)
+
+__all__ = ["ABI", "BUNDLE", "CALLSYS", "AlphaAssembler"]

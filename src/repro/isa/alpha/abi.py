@@ -1,0 +1,17 @@
+"""Alpha OSF/1-style syscall and stack conventions."""
+
+from repro.sysemu.syscalls import SyscallABI
+
+#: v0 carries the syscall number, a0-a2 the arguments, v0 the result,
+#: a3 the error flag; $30 is the stack pointer.
+ABI = SyscallABI(
+    regfile="R",
+    number_reg=0,
+    arg_regs=(16, 17, 18),
+    ret_reg=0,
+    error_reg=19,
+    stack_reg=30,
+)
+
+#: PALcode function used to enter the OS (callsys).
+CALLSYS = 0x83

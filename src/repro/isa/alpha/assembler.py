@@ -1,0 +1,165 @@
+"""Two-pass assembler for the Alpha subset.
+
+Syntax follows OSF-style Alpha assembly::
+
+    addq  $1, $2, $3        # register form
+    addq  $1, 200, $3       # 8-bit literal form
+    ldq   $4, 16($sp)       # memory displacement
+    beq   $1, loop          # branch to label
+    jmp   $26, ($27)        # indirect jump
+    call_pal 0x83           # syscall entry
+    li    $1, 0x12345678    # pseudo: ldah+lda pair (always 2 words)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.asmcore import AsmContext, AsmError, Assembler, hi16, lo16
+
+REG_ALIASES = {
+    "v0": 0, "t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7,
+    "t7": 8, "s0": 9, "s1": 10, "s2": 11, "s3": 12, "s4": 13, "s5": 14,
+    "fp": 15, "s6": 15, "a0": 16, "a1": 17, "a2": 18, "a3": 19, "a4": 20,
+    "a5": 21, "t8": 22, "t9": 23, "t10": 24, "t11": 25, "ra": 26, "pv": 27,
+    "t12": 27, "at": 28, "gp": 29, "sp": 30, "zero": 31,
+}
+
+_MEM_OPERAND = re.compile(r"^(.*?)\(\s*(\$[A-Za-z0-9]+)\s*\)$")
+
+OPERATES = {
+    # mnemonic: (opcode, func)
+    "addl": (0x10, 0x00), "s4addl": (0x10, 0x02), "subl": (0x10, 0x09),
+    "s4subl": (0x10, 0x0B), "cmpbge": (0x10, 0x0F), "s8addl": (0x10, 0x12),
+    "s8subl": (0x10, 0x1B), "cmpult": (0x10, 0x1D), "addq": (0x10, 0x20),
+    "s4addq": (0x10, 0x22), "subq": (0x10, 0x29), "s4subq": (0x10, 0x2B),
+    "cmpeq": (0x10, 0x2D), "s8addq": (0x10, 0x32), "s8subq": (0x10, 0x3B),
+    "cmpule": (0x10, 0x3D), "cmplt": (0x10, 0x4D), "cmple": (0x10, 0x6D),
+    "and": (0x11, 0x00), "bic": (0x11, 0x08), "cmovlbs": (0x11, 0x14),
+    "cmovlbc": (0x11, 0x16), "bis": (0x11, 0x20), "cmoveq": (0x11, 0x24),
+    "cmovne": (0x11, 0x26), "ornot": (0x11, 0x28), "xor": (0x11, 0x40),
+    "cmovlt": (0x11, 0x44), "cmovge": (0x11, 0x46), "eqv": (0x11, 0x48),
+    "cmovle": (0x11, 0x64), "cmovgt": (0x11, 0x66),
+    "mskbl": (0x12, 0x02), "extbl": (0x12, 0x06), "insbl": (0x12, 0x0B),
+    "extwl": (0x12, 0x16), "extll": (0x12, 0x26), "zap": (0x12, 0x30),
+    "zapnot": (0x12, 0x31), "srl": (0x12, 0x34), "extql": (0x12, 0x36),
+    "sll": (0x12, 0x39), "sra": (0x12, 0x3C),
+    "mull": (0x13, 0x00), "mulq": (0x13, 0x20), "umulh": (0x13, 0x30),
+}
+
+MEMORIES = {
+    "lda": 0x08, "ldah": 0x09, "ldbu": 0x0A, "ldq_u": 0x0B, "ldwu": 0x0C,
+    "stw": 0x0D, "stb": 0x0E, "stq_u": 0x0F, "ldl": 0x28, "ldq": 0x29,
+    "stl": 0x2C, "stq": 0x2D,
+}
+
+BRANCHES = {
+    "br": 0x30, "bsr": 0x34, "blbc": 0x38, "beq": 0x39, "blt": 0x3A,
+    "ble": 0x3B, "blbs": 0x3C, "bne": 0x3D, "bge": 0x3E, "bgt": 0x3F,
+}
+
+
+class AlphaAssembler(Assembler):
+    """Assembler for the Alpha subset described in ``alpha.lis``."""
+
+    ilen = 4
+    endian = "little"
+
+    def register(self, text: str, lineno: int) -> int:
+        text = text.strip()
+        if not text.startswith("$"):
+            raise AsmError(f"expected register, got {text!r}", lineno)
+        body = text[1:].lower()
+        if body.isdigit():
+            number = int(body)
+            if number > 31:
+                raise AsmError(f"no register {text}", lineno)
+            return number
+        if body in REG_ALIASES:
+            return REG_ALIASES[body]
+        raise AsmError(f"no register {text}", lineno)
+
+    def _mem(self, opcode: int, ra: int, operand: str, ctx: AsmContext) -> int:
+        match = _MEM_OPERAND.match(operand.strip())
+        if match:
+            disp_text, base_text = match.group(1).strip() or "0", match.group(2)
+            base = self.register(base_text, ctx.lineno)
+        else:
+            disp_text, base = operand, 31
+        disp = self.evaluate(disp_text, ctx)
+        disp = self.check_range(disp, 16, True, ctx.lineno, "displacement")
+        return (opcode << 26) | (ra << 21) | (base << 16) | disp
+
+    def _operate(self, opcode: int, func: int, operands: list[str], ctx) -> int:
+        if len(operands) != 3:
+            raise AsmError("operate form needs 3 operands", ctx.lineno)
+        ra = self.register(operands[0], ctx.lineno)
+        rc = self.register(operands[2], ctx.lineno)
+        word = (opcode << 26) | (ra << 21) | (func << 5) | rc
+        src2 = operands[1].strip()
+        if src2.startswith("$"):
+            return word | (self.register(src2, ctx.lineno) << 16)
+        lit = self.evaluate(src2, ctx)
+        lit = self.check_range(lit, 8, False, ctx.lineno, "literal")
+        return word | (lit << 13) | (1 << 12)
+
+    def _branch(self, opcode: int, ra: int, target: str, ctx: AsmContext) -> int:
+        dest = self.evaluate(target, ctx)
+        disp = (dest - (ctx.addr + 4)) // 4
+        if ctx.pass_index == 2:
+            disp = self.check_range(disp, 21, True, ctx.lineno, "branch displacement")
+        return (opcode << 26) | (ra << 21) | (disp & 0x1FFFFF)
+
+    def instruction_size(self, mnemonic: str, operands: list[str]) -> int:
+        return 8 if mnemonic == "li" else 4
+
+    def encode(self, mnemonic: str, operands: list[str], ctx: AsmContext) -> list[int]:
+        lineno = ctx.lineno
+        if mnemonic in OPERATES:
+            opcode, func = OPERATES[mnemonic]
+            return [self._operate(opcode, func, operands, ctx)]
+        if mnemonic in MEMORIES:
+            if len(operands) != 2:
+                raise AsmError(f"{mnemonic} needs 2 operands", lineno)
+            ra = self.register(operands[0], lineno)
+            return [self._mem(MEMORIES[mnemonic], ra, operands[1], ctx)]
+        if mnemonic in BRANCHES:
+            if len(operands) != 2:
+                raise AsmError(f"{mnemonic} needs register, target", lineno)
+            ra = self.register(operands[0], lineno)
+            return [self._branch(BRANCHES[mnemonic], ra, operands[1], ctx)]
+        if mnemonic in ("jmp", "jsr", "ret"):
+            # jmp $ra, ($rb) - hint bits ignored by the simulator
+            if len(operands) != 2:
+                raise AsmError(f"{mnemonic} needs 2 operands", lineno)
+            ra = self.register(operands[0], lineno)
+            inner = operands[1].strip()
+            match = re.match(r"^\(\s*(\$[A-Za-z0-9]+)\s*\)$", inner)
+            if not match:
+                raise AsmError(f"{mnemonic} target must be (register)", lineno)
+            rb = self.register(match.group(1), lineno)
+            return [(0x1A << 26) | (ra << 21) | (rb << 16)]
+        if mnemonic == "call_pal":
+            code = self.evaluate(operands[0], ctx) if operands else 0
+            return [code & 0x03FFFFFF]
+        # -- pseudo-instructions --------------------------------------------
+        if mnemonic == "li":
+            # Always ldah+lda so sizes are stable across passes.
+            rd = self.register(operands[0], lineno)
+            value = self.evaluate(operands[1], ctx)
+            if ctx.pass_index == 2 and not -(2**31) <= value < 2**31:
+                raise AsmError(f"li immediate {value} exceeds signed 32 bits", lineno)
+            high, low = hi16(value), lo16(value)
+            ldah = (0x09 << 26) | (rd << 21) | (31 << 16) | high
+            lda = (0x08 << 26) | (rd << 21) | (rd << 16) | low
+            return [ldah, lda]
+        if mnemonic == "mov":
+            rs = self.register(operands[0], lineno)
+            rd = self.register(operands[1], lineno)
+            return [(0x11 << 26) | (rs << 21) | (rs << 16) | (0x20 << 5) | rd]
+        if mnemonic == "clr":
+            rd = self.register(operands[0], lineno)
+            return [(0x11 << 26) | (31 << 21) | (31 << 16) | (0x20 << 5) | rd]
+        if mnemonic == "nop":
+            return [(0x11 << 26) | (31 << 21) | (31 << 16) | (0x20 << 5) | 31]
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", lineno)

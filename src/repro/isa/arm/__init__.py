@@ -1,0 +1,21 @@
+"""ARM v5 (user-mode subset)."""
+
+import os
+
+from repro.isa.arm.abi import ABI
+from repro.isa.arm.assembler import ArmAssembler
+from repro.isa.base import IsaBundle, register
+
+BUNDLE = register(
+    IsaBundle(
+        name="arm",
+        package_dir=os.path.dirname(__file__),
+        isa_file="arm.lis",
+        os_file="arm_os.lis",
+        buildset_file="arm_buildsets.lis",
+        abi=ABI,
+        assembler_factory=ArmAssembler,
+    )
+)
+
+__all__ = ["ABI", "BUNDLE", "ArmAssembler"]

@@ -1,0 +1,14 @@
+"""ARM EABI-style syscall and stack conventions."""
+
+from repro.sysemu.syscalls import SyscallABI
+
+#: r7 carries the syscall number, r0-r2 the arguments, r0 the result;
+#: r13 is the stack pointer.
+ABI = SyscallABI(
+    regfile="R",
+    number_reg=7,
+    arg_regs=(0, 1, 2),
+    ret_reg=0,
+    error_reg=None,
+    stack_reg=13,
+)

@@ -1,0 +1,306 @@
+"""Two-pass assembler for the ARM v5 subset.
+
+Standard ARM syntax with condition and S suffixes::
+
+    add     r0, r1, r2, lsl #2
+    subs    r3, r3, #1
+    moveq   r0, #0
+    ldr     r4, [sp, #8]
+    str     r4, [r1], #4        @ post-indexed
+    ldrh    r5, [r2, #2]
+    bl      func
+    bne     loop
+    swi     #0
+    li      r0, 0x12345678      @ pseudo: mov + 3 orr (always 4 words)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.asmcore import AsmContext, AsmError, Assembler
+
+REG_ALIASES = {"sp": 13, "lr": 14, "pc": 15, "fp": 11, "ip": 12, "sl": 10}
+
+CONDITIONS = {
+    "eq": 0, "ne": 1, "cs": 2, "hs": 2, "cc": 3, "lo": 3, "mi": 4, "pl": 5,
+    "vs": 6, "vc": 7, "hi": 8, "ls": 9, "ge": 10, "lt": 11, "gt": 12,
+    "le": 13, "al": 14,
+}
+
+DP_OPS = {
+    "and": 0x0, "eor": 0x1, "sub": 0x2, "rsb": 0x3, "add": 0x4, "adc": 0x5,
+    "sbc": 0x6, "orr": 0xC, "mov": 0xD, "bic": 0xE, "mvn": 0xF,
+}
+DP_COMPARES = {"tst": 0x8, "teq": 0x9, "cmp": 0xA, "cmn": 0xB}
+SHIFT_NAMES = {"lsl": 0, "lsr": 1, "asr": 2, "ror": 3}
+
+# Base mnemonics ordered longest-first so suffix stripping is unambiguous.
+_BASES = sorted(
+    list(DP_OPS)
+    + list(DP_COMPARES)
+    + ["ldrsb", "ldrsh", "ldrb", "ldrh", "strb", "strh", "ldr", "str"]
+    + ["mul", "mla", "clz", "mrs", "msr", "swi", "bx", "bl", "b"]
+    + ["lsl", "lsr", "asr", "ror", "li", "nop", "push1", "pop1"],
+    key=len,
+    reverse=True,
+)
+
+
+def encode_rotated_imm(value: int) -> int | None:
+    """Encode a 32-bit constant as an 8-bit value with even rotation."""
+    value &= 0xFFFFFFFF
+    for rot in range(16):
+        rotated = ((value << (2 * rot)) | (value >> (32 - 2 * rot))) & 0xFFFFFFFF
+        if rot == 0:
+            rotated = value
+        if rotated < 256:
+            return (rot << 8) | rotated
+    return None
+
+
+class ArmAssembler(Assembler):
+    """Assembler for the ARM subset described in ``arm.lis``."""
+
+    ilen = 4
+    endian = "little"
+    # '#' introduces immediates on ARM, so comments are '@', ';' or '//'.
+    comment_re = re.compile(r"(?:;|//|@).*")
+
+    # -- mnemonic splitting ----------------------------------------------------
+
+    _S_ALLOWED = frozenset(DP_OPS) | frozenset(SHIFT_NAMES) | {"mul", "mla"}
+
+    def split_mnemonic(self, mnemonic: str, lineno: int) -> tuple[str, int, int]:
+        """Return (base, cond, s_bit); tries longer bases first, so an
+        ambiguous spelling like ``bls`` resolves to ``b``+``ls`` because
+        ``bl`` cannot take an S suffix."""
+        for base in _BASES:
+            if not mnemonic.startswith(base):
+                continue
+            rest = mnemonic[len(base) :]
+            s_bit = 0
+            if rest.endswith("s") and base in self._S_ALLOWED:
+                if rest[:-1] in CONDITIONS or rest[:-1] == "":
+                    s_bit = 1
+                    rest = rest[:-1]
+            if rest == "":
+                return base, 14, s_bit
+            if rest in CONDITIONS:
+                return base, CONDITIONS[rest], s_bit
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", lineno)
+
+    def register(self, text: str, lineno: int) -> int:
+        text = text.strip().lower()
+        if text in REG_ALIASES:
+            return REG_ALIASES[text]
+        if re.fullmatch(r"r\d{1,2}", text):
+            number = int(text[1:])
+            if number < 16:
+                return number
+        raise AsmError(f"expected register, got {text!r}", lineno)
+
+    # -- operand2 ------------------------------------------------------------------
+
+    def _operand2(self, parts: list[str], ctx: AsmContext) -> tuple[int, int]:
+        """Encode a data-processing flexible operand -> (i_bit, bits)."""
+        first = parts[0].strip()
+        if first.startswith("#"):
+            value = self.evaluate(first[1:], ctx)
+            encoded = encode_rotated_imm(value)
+            if encoded is None:
+                raise AsmError(
+                    f"immediate {value:#x} not encodable as rotated 8-bit",
+                    ctx.lineno,
+                )
+            return 1, encoded
+        rm = self.register(first, ctx.lineno)
+        if len(parts) == 1:
+            return 0, rm
+        shift = parts[1].strip().lower()
+        match = re.fullmatch(r"(lsl|lsr|asr|ror)\s+(.+)", shift)
+        if not match:
+            raise AsmError(f"bad shift specifier {shift!r}", ctx.lineno)
+        kind = SHIFT_NAMES[match.group(1)]
+        amount = match.group(2).strip()
+        if amount.startswith("#"):
+            value = self.evaluate(amount[1:], ctx)
+            if value == 32 and kind in (1, 2):
+                value = 0  # LSR/ASR #32 encode as shift_imm 0
+            else:
+                value = self.check_range(value, 5, False, ctx.lineno, "shift amount")
+            return 0, (value << 7) | (kind << 5) | rm
+        rs = self.register(amount, ctx.lineno)
+        return 0, (rs << 8) | (kind << 5) | 0x10 | rm
+
+    # -- memory addressing ------------------------------------------------------------
+
+    def _address(self, text: str, ctx: AsmContext, halfword: bool):
+        """Parse '[rn, ...]' forms -> (p, u, w, rn, offset_bits, i_flag)."""
+        text = text.strip()
+        writeback = text.endswith("!")
+        if writeback:
+            text = text[:-1].strip()
+        post = False
+        match = re.fullmatch(r"\[([^\]]+)\]\s*(?:,\s*(.+))?", text, re.S)
+        if not match:
+            raise AsmError(f"bad address {text!r}", ctx.lineno)
+        inner = match.group(1)
+        trailing = match.group(2)
+        if trailing is not None:
+            post = True
+        parts = self.split_operands(inner)
+        rn = self.register(parts[0], ctx.lineno)
+        offset_text = None
+        if post:
+            offset_text = trailing
+        elif len(parts) > 1:
+            offset_text = ", ".join(parts[1:])
+        p_bit = 0 if post else 1
+        u_bit = 1
+        if offset_text is None:
+            return p_bit, u_bit, 0, rn, 0, 0
+        offset_text = offset_text.strip()
+        if offset_text.startswith("#"):
+            value = self.evaluate(offset_text[1:], ctx)
+            if value < 0:
+                u_bit, value = 0, -value
+            bits = 8 if halfword else 12
+            value = self.check_range(value, bits, False, ctx.lineno, "offset")
+            return p_bit, u_bit, 1 if writeback else 0, rn, value, 0
+        negative = offset_text.startswith("-")
+        if negative:
+            u_bit = 0
+            offset_text = offset_text[1:]
+        if "," in offset_text:
+            if halfword:
+                raise AsmError("halfword transfers take register or #imm", ctx.lineno)
+            reg_text, shift_text = (s.strip() for s in offset_text.split(",", 1))
+            rm = self.register(reg_text, ctx.lineno)
+            match = re.fullmatch(r"(lsl|lsr|asr|ror)\s+#(.+)", shift_text.lower())
+            if not match:
+                raise AsmError(f"bad offset shift {shift_text!r}", ctx.lineno)
+            kind = SHIFT_NAMES[match.group(1)]
+            amount = self.check_range(
+                self.evaluate(match.group(2), ctx), 5, False, ctx.lineno, "shift"
+            )
+            bits = (amount << 7) | (kind << 5) | rm
+            return p_bit, u_bit, 1 if writeback else 0, rn, bits, 1
+        rm = self.register(offset_text, ctx.lineno)
+        return p_bit, u_bit, 1 if writeback else 0, rn, rm, 1
+
+    # -- encoding --------------------------------------------------------------------------
+
+    def instruction_size(self, mnemonic: str, operands: list[str]) -> int:
+        base = mnemonic
+        for candidate in _BASES:
+            if mnemonic.startswith(candidate):
+                base = candidate
+                break
+        return 16 if base == "li" else 4
+
+    def encode(self, mnemonic: str, operands: list[str], ctx: AsmContext) -> list[int]:
+        base, cond, s_bit = self.split_mnemonic(mnemonic, ctx.lineno)
+        c = cond << 28
+        lineno = ctx.lineno
+
+        if base in DP_OPS:
+            op = DP_OPS[base]
+            if base in ("mov", "mvn"):
+                rd = self.register(operands[0], lineno)
+                i_bit, bits = self._operand2(operands[1:], ctx)
+                return [c | (i_bit << 25) | (op << 21) | (s_bit << 20) | (rd << 12) | bits]
+            rd = self.register(operands[0], lineno)
+            rn = self.register(operands[1], lineno)
+            i_bit, bits = self._operand2(operands[2:], ctx)
+            return [
+                c | (i_bit << 25) | (op << 21) | (s_bit << 20) | (rn << 16)
+                | (rd << 12) | bits
+            ]
+        if base in DP_COMPARES:
+            op = DP_COMPARES[base]
+            rn = self.register(operands[0], lineno)
+            i_bit, bits = self._operand2(operands[1:], ctx)
+            return [c | (i_bit << 25) | (op << 21) | (1 << 20) | (rn << 16) | bits]
+        if base in SHIFT_NAMES:
+            # lsl rd, rm, #n  ->  mov rd, rm, lsl #n
+            rd = self.register(operands[0], lineno)
+            i_bit, bits = self._operand2(
+                [operands[1], f"{base} {operands[2]}"], ctx
+            )
+            return [c | (0xD << 21) | (s_bit << 20) | (rd << 12) | bits]
+        if base in ("ldr", "ldrb", "str", "strb"):
+            rd = self.register(operands[0], lineno)
+            p, u, w, rn, off, ireg = self._address(
+                ", ".join(operands[1:]), ctx, halfword=False
+            )
+            l_bit = 1 if base.startswith("ldr") else 0
+            b_bit = 1 if base.endswith("b") else 0
+            return [
+                c | (1 << 26) | (ireg << 25) | (p << 24) | (u << 23) | (b_bit << 22)
+                | (w << 21) | (l_bit << 20) | (rn << 16) | (rd << 12) | off
+            ]
+        if base in ("ldrh", "strh", "ldrsb", "ldrsh"):
+            rd = self.register(operands[0], lineno)
+            p, u, w, rn, off, ireg = self._address(
+                ", ".join(operands[1:]), ctx, halfword=True
+            )
+            sh = {"ldrh": 1, "strh": 1, "ldrsb": 2, "ldrsh": 3}[base]
+            l_bit = 0 if base == "strh" else 1
+            if ireg:
+                imm22, off_hi, off_lo = 0, 0, off
+            else:
+                imm22, off_hi, off_lo = 1, (off >> 4) & 0xF, off & 0xF
+            return [
+                c | (p << 24) | (u << 23) | (imm22 << 22) | (w << 21) | (l_bit << 20)
+                | (rn << 16) | (rd << 12) | (off_hi << 8) | 0x90 | (sh << 5) | off_lo
+            ]
+        if base in ("mul", "mla"):
+            rd = self.register(operands[0], lineno)
+            rm = self.register(operands[1], lineno)
+            rs = self.register(operands[2], lineno)
+            word = c | (s_bit << 20) | (rd << 16) | (rs << 8) | 0x90 | rm
+            if base == "mla":
+                rn = self.register(operands[3], lineno)
+                word |= (1 << 21) | (rn << 12)
+            return [word]
+        if base in ("b", "bl"):
+            dest = self.evaluate(operands[0], ctx)
+            disp = (dest - (ctx.addr + 8)) // 4
+            if ctx.pass_index == 2:
+                disp = self.check_range(disp, 24, True, lineno, "branch offset")
+            link = 1 if base == "bl" else 0
+            return [c | (0x5 << 25) | (link << 24) | (disp & 0xFFFFFF)]
+        if base == "bx":
+            rm = self.register(operands[0], lineno)
+            return [c | 0x012FFF10 | rm]
+        if base == "clz":
+            rd = self.register(operands[0], lineno)
+            rm = self.register(operands[1], lineno)
+            return [c | (0x16F << 16) | (rd << 12) | 0xF10 | rm]
+        if base == "mrs":
+            rd = self.register(operands[0], lineno)
+            return [c | (0x10F << 16) | (rd << 12)]
+        if base == "msr":
+            # msr cpsr_f, rm
+            rm = self.register(operands[1], lineno)
+            return [c | (0x12 << 20) | (0x8 << 16) | 0xF000 | rm]
+        if base == "swi":
+            imm = operands[0].lstrip("#") if operands else "0"
+            return [c | (0xF << 24) | (self.evaluate(imm, ctx) & 0xFFFFFF)]
+        if base == "nop":
+            return [0xE1A00000]  # mov r0, r0
+        if base == "li":
+            # Load a full 32-bit constant: mov + 3x orr (stable 4 words).
+            rd = self.register(operands[0], lineno)
+            value = self.evaluate(operands[1], ctx) & 0xFFFFFFFF
+            words = [c | (1 << 25) | (0xD << 21) | (rd << 12) | (value & 0xFF)]
+            for rot_byte in (1, 2, 3):
+                chunk = (value >> (8 * rot_byte)) & 0xFF
+                rot = (16 - rot_byte * 4) % 16
+                operand2 = (rot << 8) | chunk
+                words.append(
+                    c | (1 << 25) | (0xC << 21) | (rd << 16) | (rd << 12) | operand2
+                )
+            return words
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", lineno)

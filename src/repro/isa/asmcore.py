@@ -1,0 +1,355 @@
+"""Shared two-pass assembler framework.
+
+Each ISA provides a subclass implementing :meth:`Assembler.encode`, which
+maps one mnemonic + operand list to one or more instruction words.  The
+framework handles labels, directives, expression evaluation and the
+two-pass layout, and produces a :class:`~repro.sysemu.loader.ProgramImage`.
+
+Supported directives::
+
+    .org ADDR        set the location counter
+    .word EXPR, ...  emit 32-bit words
+    .byte EXPR, ...  emit bytes
+    .asciz "text"    emit a NUL-terminated string
+    .align N         pad to an N-byte boundary
+    .space N         emit N zero bytes
+    name = EXPR      define a symbol
+
+Expressions understand decimal/hex/binary integers, symbols, ``+ - * / %
+<< >> & | ^ ~``, parentheses, unary minus, and the helpers ``hi16(x)`` /
+``lo16(x)`` (high/low halves with the carry convention used by
+``lda``/``addis`` style instruction pairs).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.sysemu.loader import ProgramImage
+
+
+class AsmError(Exception):
+    """Assembly failed; message includes the source line number."""
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        super().__init__(f"line {lineno}: {message}" if lineno else message)
+        self.lineno = lineno
+
+
+def lo16(value: int) -> int:
+    """Low 16 bits as used by ``lda``-style displacement instructions."""
+    return value & 0xFFFF
+
+
+def hi16(value: int) -> int:
+    """High 16 bits, adjusted so hi16*65536 + sext(lo16) == value."""
+    low = value & 0xFFFF
+    high = (value >> 16) & 0xFFFF
+    if low & 0x8000:
+        high = (high + 1) & 0xFFFF
+    return high
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)"
+    r"|(?P<sym>[A-Za-z_.$][A-Za-z0-9_.$]*)"
+    r"|(?P<op><<|>>|[-+*/%&|^~()]))"
+)
+
+
+class ExprEvaluator:
+    """Recursive-descent evaluator for assembler expressions."""
+
+    _FUNCS = {"hi16": hi16, "lo16": lo16}
+
+    def __init__(self, text: str, symbols: dict[str, int], lineno: int | None = None):
+        self.tokens = self._tokenize(text, lineno)
+        self.pos = 0
+        self.symbols = symbols
+        self.lineno = lineno
+
+    def _tokenize(self, text: str, lineno) -> list[str]:
+        tokens: list[str] = []
+        index = 0
+        while index < len(text):
+            match = _TOKEN.match(text, index)
+            if match is None:
+                if text[index:].strip() == "":
+                    break
+                raise AsmError(f"bad expression near {text[index:]!r}", lineno)
+            tokens.append(match.group(match.lastgroup))
+            index = match.end()
+        return tokens
+
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise AsmError("unexpected end of expression", self.lineno)
+        self.pos += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._or()
+        if self._peek() is not None:
+            raise AsmError(f"trailing junk in expression: {self._peek()!r}", self.lineno)
+        return value
+
+    def _or(self) -> int:
+        value = self._xor()
+        while self._peek() == "|":
+            self._next()
+            value |= self._xor()
+        return value
+
+    def _xor(self) -> int:
+        value = self._and()
+        while self._peek() == "^":
+            self._next()
+            value ^= self._and()
+        return value
+
+    def _and(self) -> int:
+        value = self._shift()
+        while self._peek() == "&":
+            self._next()
+            value &= self._shift()
+        return value
+
+    def _shift(self) -> int:
+        value = self._add()
+        while self._peek() in ("<<", ">>"):
+            if self._next() == "<<":
+                value <<= self._add()
+            else:
+                value >>= self._add()
+        return value
+
+    def _add(self) -> int:
+        value = self._mul()
+        while self._peek() in ("+", "-"):
+            if self._next() == "+":
+                value += self._mul()
+            else:
+                value -= self._mul()
+        return value
+
+    def _mul(self) -> int:
+        value = self._unary()
+        while self._peek() in ("*", "/", "%"):
+            op = self._next()
+            rhs = self._unary()
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                value //= rhs
+            else:
+                value %= rhs
+        return value
+
+    def _unary(self) -> int:
+        token = self._peek()
+        if token == "-":
+            self._next()
+            return -self._unary()
+        if token == "~":
+            self._next()
+            return ~self._unary()
+        if token == "+":
+            self._next()
+            return self._unary()
+        return self._atom()
+
+    def _atom(self) -> int:
+        token = self._next()
+        if token == "(":
+            value = self._or()
+            if self._next() != ")":
+                raise AsmError("missing ')'", self.lineno)
+            return value
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+", token):
+            return int(token, 16)
+        if re.fullmatch(r"0[bB][01]+", token):
+            return int(token, 2)
+        if token.isdigit():
+            return int(token)
+        if token in self._FUNCS:
+            if self._next() != "(":
+                raise AsmError(f"{token} needs parentheses", self.lineno)
+            value = self._or()
+            if self._next() != ")":
+                raise AsmError("missing ')'", self.lineno)
+            return self._FUNCS[token](value)
+        if token in self.symbols:
+            return self.symbols[token]
+        raise AsmError(f"undefined symbol {token!r}", self.lineno)
+
+
+@dataclass
+class AsmContext:
+    """Information an encoder may need: where it is, what it can see."""
+
+    addr: int
+    symbols: dict[str, int]
+    lineno: int
+    pass_index: int  # 1 = layout, 2 = final
+
+
+class Assembler:
+    """Two-pass assembler; subclass per ISA.
+
+    Subclasses implement :meth:`encode` returning a list of 32-bit words
+    and may override :meth:`instruction_size` for variable-size pseudos.
+    """
+
+    ilen = 4
+    endian = "little"
+    comment_re = re.compile(r"(?:#|;|//|@(?![A-Za-z0-9_])).*")
+
+    # -- subclass interface -------------------------------------------------------
+
+    def encode(self, mnemonic: str, operands: list[str], ctx: AsmContext) -> list[int]:
+        raise NotImplementedError
+
+    def instruction_size(self, mnemonic: str, operands: list[str]) -> int:
+        """Size in bytes (pass 1); default: one word, pseudos may differ."""
+        return self.ilen
+
+    # -- helpers for subclasses ---------------------------------------------------
+
+    def evaluate(self, text: str, ctx: AsmContext) -> int:
+        symbols = dict(ctx.symbols)
+        symbols["."] = ctx.addr  # current location counter
+        if ctx.pass_index == 1:
+            # Symbols may be forward references during layout.
+            try:
+                return ExprEvaluator(text, symbols, ctx.lineno).parse()
+            except AsmError:
+                return 0
+        return ExprEvaluator(text, symbols, ctx.lineno).parse()
+
+    @staticmethod
+    def split_operands(text: str) -> list[str]:
+        """Split on top-level commas (parentheses protected)."""
+        out: list[str] = []
+        depth = 0
+        current = []
+        for ch in text:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            if ch == "," and depth == 0:
+                out.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+        tail = "".join(current).strip()
+        if tail:
+            out.append(tail)
+        return out
+
+    def check_range(self, value: int, bits: int, signed: bool, lineno: int, what: str):
+        if signed:
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        else:
+            lo, hi = 0, (1 << bits) - 1
+        if not lo <= value <= hi:
+            raise AsmError(f"{what} {value} out of range [{lo}, {hi}]", lineno)
+        return value & ((1 << bits) - 1)
+
+    # -- the two passes --------------------------------------------------------------
+
+    def assemble(self, source: str, origin: int = 0) -> ProgramImage:
+        """Assemble ``source`` into a program image based at ``origin``."""
+        lines = source.splitlines()
+        symbols: dict[str, int] = {}
+        section = _Section(origin)
+        for pass_index in (1, 2):
+            section = _Section(origin)
+            for lineno, raw in enumerate(lines, 1):
+                line = self.comment_re.sub("", raw).strip()
+                while True:
+                    match = re.match(r"([A-Za-z_.$][A-Za-z0-9_.$]*):\s*", line)
+                    if not match:
+                        break
+                    symbols[match.group(1)] = section.loc
+                    line = line[match.end() :]
+                if not line:
+                    continue
+                assign = re.match(r"([A-Za-z_.$][A-Za-z0-9_.$]*)\s*=\s*(.+)", line)
+                if assign and not line.startswith("."):
+                    ctx = AsmContext(section.loc, symbols, lineno, pass_index)
+                    symbols[assign.group(1)] = self.evaluate(assign.group(2), ctx)
+                    continue
+                parts = line.split(None, 1)
+                mnemonic = parts[0].lower()
+                rest = parts[1] if len(parts) > 1 else ""
+                ctx = AsmContext(section.loc, symbols, lineno, pass_index)
+                if mnemonic.startswith("."):
+                    self._directive(mnemonic, rest, ctx, section)
+                    continue
+                operands = self.split_operands(rest)
+                if pass_index == 1:
+                    section.loc += self.instruction_size(mnemonic, operands)
+                else:
+                    try:
+                        words = self.encode(mnemonic, operands, ctx)
+                    except AsmError:
+                        raise
+                    except Exception as exc:
+                        raise AsmError(f"{mnemonic}: {exc}", lineno) from exc
+                    for word in words:
+                        section.emit(word.to_bytes(self.ilen, self.endian))
+
+        image = ProgramImage(entry=symbols.get("_start", origin), symbols=dict(symbols))
+        for addr in sorted(section.chunks):
+            image.add_segment(addr, bytes(section.chunks[addr]))
+        return image
+
+    def _directive(self, name: str, rest: str, ctx: AsmContext, section: "_Section"):
+        if name == ".org":
+            section.loc = self.evaluate(rest, ctx)
+        elif name == ".word":
+            for item in self.split_operands(rest):
+                section.emit(
+                    (self.evaluate(item, ctx) & 0xFFFFFFFF).to_bytes(4, self.endian)
+                )
+        elif name == ".byte":
+            for item in self.split_operands(rest):
+                section.emit(bytes([self.evaluate(item, ctx) & 0xFF]))
+        elif name == ".asciz":
+            match = re.match(r'"((?:[^"\\]|\\.)*)"', rest.strip())
+            if not match:
+                raise AsmError(".asciz needs a quoted string", ctx.lineno)
+            text = match.group(1).encode().decode("unicode_escape").encode("latin-1")
+            section.emit(text + b"\x00")
+        elif name == ".align":
+            section.emit(b"\x00" * ((-section.loc) % self.evaluate(rest, ctx)))
+        elif name == ".space":
+            section.emit(b"\x00" * self.evaluate(rest, ctx))
+        else:
+            raise AsmError(f"unknown directive {name}", ctx.lineno)
+
+
+class _Section:
+    """Location counter + emitted bytes for one assembly pass."""
+
+    def __init__(self, origin: int) -> None:
+        self.loc = origin
+        self.chunks: dict[int, bytearray] = {}
+        self._open_start: int | None = None
+
+    def emit(self, data: bytes) -> None:
+        if (
+            self._open_start is not None
+            and self._open_start + len(self.chunks[self._open_start]) == self.loc
+        ):
+            self.chunks[self._open_start].extend(data)
+        else:
+            self._open_start = self.loc
+            self.chunks[self.loc] = bytearray(data)
+        self.loc += len(data)

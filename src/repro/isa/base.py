@@ -1,0 +1,75 @@
+"""ISA bundle registry.
+
+An :class:`IsaBundle` ties together everything one instruction set needs:
+the ADL description files (ISA + OS overlay + buildsets, mirroring the
+file split of the paper's Table I), the syscall ABI, and the assembler.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.adl import IsaSpec, load_isa
+from repro.sysemu.syscalls import SyscallABI
+
+
+@dataclass(frozen=True)
+class IsaBundle:
+    """Descriptor for one supported instruction set."""
+
+    name: str
+    package_dir: str
+    isa_file: str
+    os_file: str
+    buildset_file: str
+    abi: SyscallABI
+    assembler_factory: object  # callable returning an Assembler
+
+    def description_paths(self) -> list[str]:
+        return [
+            os.path.join(self.package_dir, self.isa_file),
+            os.path.join(self.package_dir, self.os_file),
+            os.path.join(self.package_dir, self.buildset_file),
+        ]
+
+    def load_spec(self) -> IsaSpec:
+        return _load_spec_cached(tuple(self.description_paths()))
+
+    def make_assembler(self):
+        return self.assembler_factory()
+
+
+@lru_cache(maxsize=None)
+def _load_spec_cached(paths: tuple[str, ...]) -> IsaSpec:
+    return load_isa(list(paths))
+
+
+_REGISTRY: dict[str, IsaBundle] = {}
+
+
+def register(bundle: IsaBundle) -> IsaBundle:
+    _REGISTRY[bundle.name] = bundle
+    return bundle
+
+
+def get_bundle(name: str) -> IsaBundle:
+    """Look up a registered ISA ('alpha', 'arm', 'ppc')."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISA {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_isas() -> list[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def _ensure_registered() -> None:
+    # Importing the subpackages registers their bundles.
+    from repro.isa import alpha, arm, ppc, sparc  # noqa: F401

@@ -1,0 +1,56 @@
+"""Generic disassembler derived from the single specification.
+
+Because the ADL description carries formats, decode patterns and operand
+bindings, a usable disassembler falls out for free — another consumer of
+the one specification.  Output is explicit rather than pretty::
+
+    ADDQ ra=1 rb=2 rc=3
+    LDQ ra=4 rb=30 disp16=16
+    BNE ra=1 disp21=-3
+"""
+
+from __future__ import annotations
+
+from repro.adl.snippets import analyze_stmts
+from repro.adl.spec import Instruction, IsaSpec
+
+
+def _relevant_bitfields(instr: Instruction) -> list[str]:
+    """Bitfields actually read by the instruction's semantics."""
+    reads: set[str] = set()
+    for stmts in instr.action_code.values():
+        reads |= analyze_stmts(list(stmts)).reads
+    names = [name for name in instr.format.bitfields if name in reads]
+    return names
+
+
+class Disassembler:
+    """Decode instruction words into name + decoded-field text."""
+
+    def __init__(self, spec: IsaSpec) -> None:
+        self.spec = spec
+        self._fields = [
+            _relevant_bitfields(instr) for instr in spec.instructions
+        ]
+
+    def disassemble(self, word: int) -> str:
+        """One instruction word -> text (or ``.word`` for no match)."""
+        index = self.spec.decode(word)
+        if index is None:
+            return f".word {word:#010x}"
+        instr = self.spec.instructions[index]
+        parts = [instr.name]
+        for name in self._fields[index]:
+            value = instr.format.bitfields[name].extract(word)
+            parts.append(f"{name}={value}")
+        return " ".join(parts)
+
+    def disassemble_range(self, mem, start: int, count: int) -> list[str]:
+        """Disassemble ``count`` instructions from memory at ``start``."""
+        out = []
+        ilen = self.spec.ilen
+        for i in range(count):
+            addr = start + i * ilen
+            word = mem.read(addr, ilen)
+            out.append(f"{addr:#8x}:  {self.disassemble(word)}")
+        return out

@@ -1,0 +1,21 @@
+"""PowerPC (user-mode 32-bit subset)."""
+
+import os
+
+from repro.isa.base import IsaBundle, register
+from repro.isa.ppc.abi import ABI
+from repro.isa.ppc.assembler import PpcAssembler
+
+BUNDLE = register(
+    IsaBundle(
+        name="ppc",
+        package_dir=os.path.dirname(__file__),
+        isa_file="ppc.lis",
+        os_file="ppc_os.lis",
+        buildset_file="ppc_buildsets.lis",
+        abi=ABI,
+        assembler_factory=PpcAssembler,
+    )
+)
+
+__all__ = ["ABI", "BUNDLE", "PpcAssembler"]

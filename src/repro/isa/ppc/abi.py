@@ -1,0 +1,14 @@
+"""PowerPC SysV-style syscall and stack conventions."""
+
+from repro.sysemu.syscalls import SyscallABI
+
+#: r0 carries the syscall number, r3-r5 the arguments, r3 the result;
+#: r1 is the stack pointer.
+ABI = SyscallABI(
+    regfile="R",
+    number_reg=0,
+    arg_regs=(3, 4, 5),
+    ret_reg=3,
+    error_reg=None,
+    stack_reg=1,
+)

@@ -1,0 +1,238 @@
+"""Two-pass assembler for the PowerPC subset.
+
+Classic PPC syntax; registers may be written ``3`` or ``r3``::
+
+    addi    4, 0, 10          # li form also available
+    add.    5, 4, 3           # dotted = record CR0
+    lwz     6, 8(1)
+    stwu    1, -16(1)
+    cmpwi   4, 0
+    bne     loop
+    bdnz    loop
+    mtlr    0
+    blr
+    rlwinm  7, 6, 3, 0, 28
+    liw     9, 0x12345678     # pseudo: lis+ori (always 2 words)
+    sc
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.asmcore import AsmContext, AsmError, Assembler, hi16, lo16
+
+_MEM_OPERAND = re.compile(r"^(.*?)\(\s*([^)]+)\s*\)$")
+
+D_ARITH = {"addi": 14, "addis": 15, "mulli": 7, "subfic": 8}
+D_LOGIC = {
+    "andi.": 28, "andis.": 29, "ori": 24, "oris": 25, "xori": 26, "xoris": 27,
+}
+D_MEM = {
+    "lwz": 32, "lwzu": 33, "lbz": 34, "lhz": 40, "lha": 42,
+    "stw": 36, "stwu": 37, "stb": 38, "sth": 44,
+}
+# X-form rT, rA, rB arithmetic (xo10 values)
+X_ARITH = {
+    "add": 266, "subf": 40, "addc": 10, "subfc": 8, "mullw": 235,
+    "mulhw": 75, "mulhwu": 11, "divw": 491, "divwu": 459,
+}
+# X-form rA <- rS op rB logical/shift (operands written rA, rS, rB)
+X_LOGIC = {
+    "and": 28, "andc": 60, "or": 444, "orc": 412, "xor": 316, "nand": 476,
+    "nor": 124, "slw": 24, "srw": 536, "sraw": 792,
+}
+X_UNARY = {"cntlzw": 26, "extsb": 954, "extsh": 922}
+X_MEM = {"lwzx": 23, "lbzx": 87, "stwx": 151, "stbx": 215}
+
+# extended conditional branches: (bo, bi_base)
+COND_BRANCHES = {
+    "blt": (12, 0), "bgt": (12, 1), "beq": (12, 2),
+    "bge": (4, 0), "ble": (4, 1), "bne": (4, 2),
+    "bdnz": (16, 0), "bdz": (18, 0),
+}
+
+
+class PpcAssembler(Assembler):
+    """Assembler for the PowerPC subset described in ``ppc.lis``."""
+
+    ilen = 4
+    endian = "big"
+
+    def register(self, text: str, lineno: int) -> int:
+        text = text.strip().lower()
+        if text.startswith("r"):
+            text = text[1:]
+        if text == "sp":
+            return 1
+        if text.isdigit() and int(text) < 32:
+            return int(text)
+        raise AsmError(f"expected register, got {text!r}", lineno)
+
+    def _d_form(self, opcd, rt, ra, value, ctx, signed=True) -> int:
+        value = self.check_range(value, 16, signed, ctx.lineno, "immediate") \
+            if ctx.pass_index == 2 else value & 0xFFFF
+        return (opcd << 26) | (rt << 21) | (ra << 16) | (value & 0xFFFF)
+
+    def _x_form(self, rt, ra, rb, xo10, rc=0) -> int:
+        return (31 << 26) | (rt << 21) | (ra << 16) | (rb << 11) | (xo10 << 1) | rc
+
+    def _branch_disp(self, target_text, ctx, bits) -> int:
+        dest = self.evaluate(target_text, ctx)
+        disp = (dest - ctx.addr) // 4
+        if ctx.pass_index == 2:
+            disp = self.check_range(disp, bits, True, ctx.lineno, "branch disp")
+        return disp & ((1 << bits) - 1)
+
+    def instruction_size(self, mnemonic: str, operands: list[str]) -> int:
+        return 8 if mnemonic == "liw" else 4
+
+    def encode(self, mnemonic: str, operands: list[str], ctx: AsmContext) -> list[int]:
+        lineno = ctx.lineno
+        rc = 0
+        if mnemonic.endswith(".") and mnemonic not in D_LOGIC:
+            rc = 1
+            mnemonic = mnemonic[:-1]
+
+        if mnemonic in D_ARITH:
+            rt = self.register(operands[0], lineno)
+            ra = self.register(operands[1], lineno)
+            value = self.evaluate(operands[2], ctx)
+            return [self._d_form(D_ARITH[mnemonic], rt, ra, value, ctx)]
+        if mnemonic in D_LOGIC or mnemonic + "." in D_LOGIC:
+            key = mnemonic if mnemonic in D_LOGIC else mnemonic + "."
+            ra = self.register(operands[0], lineno)
+            rs = self.register(operands[1], lineno)
+            value = self.evaluate(operands[2], ctx)
+            return [self._d_form(D_LOGIC[key], rs, ra, value, ctx, signed=False)]
+        if mnemonic in D_MEM:
+            rt = self.register(operands[0], lineno)
+            match = _MEM_OPERAND.match(operands[1].strip())
+            if not match:
+                raise AsmError(f"{mnemonic} needs disp(rA)", lineno)
+            disp = self.evaluate(match.group(1) or "0", ctx)
+            ra = self.register(match.group(2), lineno)
+            return [self._d_form(D_MEM[mnemonic], rt, ra, disp, ctx)]
+        if mnemonic in X_ARITH:
+            rt = self.register(operands[0], lineno)
+            ra = self.register(operands[1], lineno)
+            rb = self.register(operands[2], lineno)
+            return [self._x_form(rt, ra, rb, X_ARITH[mnemonic], rc)]
+        if mnemonic in X_LOGIC:
+            ra = self.register(operands[0], lineno)
+            rs = self.register(operands[1], lineno)
+            rb = self.register(operands[2], lineno)
+            return [self._x_form(rs, ra, rb, X_LOGIC[mnemonic], rc)]
+        if mnemonic in X_UNARY:
+            ra = self.register(operands[0], lineno)
+            rs = self.register(operands[1], lineno)
+            return [self._x_form(rs, ra, 0, X_UNARY[mnemonic], rc)]
+        if mnemonic == "srawi":
+            ra = self.register(operands[0], lineno)
+            rs = self.register(operands[1], lineno)
+            sh = self.check_range(self.evaluate(operands[2], ctx), 5, False, lineno, "sh")
+            return [self._x_form(rs, ra, sh, 824, rc)]
+        if mnemonic in X_MEM:
+            rt = self.register(operands[0], lineno)
+            ra = self.register(operands[1], lineno)
+            rb = self.register(operands[2], lineno)
+            return [self._x_form(rt, ra, rb, X_MEM[mnemonic])]
+        if mnemonic == "neg":
+            rt = self.register(operands[0], lineno)
+            ra = self.register(operands[1], lineno)
+            return [self._x_form(rt, ra, 0, 104, rc)]
+        if mnemonic in ("rlwinm", "rlwimi"):
+            opcd = 21 if mnemonic == "rlwinm" else 20
+            ra = self.register(operands[0], lineno)
+            rs = self.register(operands[1], lineno)
+            sh = self.evaluate(operands[2], ctx) & 31
+            mb = self.evaluate(operands[3], ctx) & 31
+            me = self.evaluate(operands[4], ctx) & 31
+            return [
+                (opcd << 26) | (rs << 21) | (ra << 16) | (sh << 11) | (mb << 6)
+                | (me << 1) | rc
+            ]
+        if mnemonic in ("cmpwi", "cmplwi"):
+            opcd = 11 if mnemonic == "cmpwi" else 10
+            crf = 0
+            rest = operands
+            if len(operands) == 3:
+                crf = self.evaluate(operands[0].lstrip("cr"), ctx) & 7
+                rest = operands[1:]
+            ra = self.register(rest[0], lineno)
+            value = self.evaluate(rest[1], ctx)
+            return [self._d_form(opcd, crf << 2, ra, value, ctx, mnemonic == "cmpwi")]
+        if mnemonic in ("cmpw", "cmplw"):
+            xo = 0 if mnemonic == "cmpw" else 32
+            crf = 0
+            rest = operands
+            if len(operands) == 3:
+                crf = self.evaluate(operands[0].lstrip("cr"), ctx) & 7
+                rest = operands[1:]
+            ra = self.register(rest[0], lineno)
+            rb = self.register(rest[1], lineno)
+            return [self._x_form(crf << 2, ra, rb, xo)]
+        if mnemonic in ("b", "bl", "ba", "bla"):
+            lk = 1 if "l" in mnemonic.replace("b", "", 1).replace("a", "") else 0
+            aa = 1 if mnemonic.endswith("a") else 0
+            disp = self._branch_disp(operands[0], ctx, 24)
+            return [(18 << 26) | (disp << 2) | (aa << 1) | lk]
+        if mnemonic in COND_BRANCHES:
+            bo, bi = COND_BRANCHES[mnemonic]
+            target = operands[-1]
+            if len(operands) == 2:  # optional cr field: beq cr1, target
+                crf = self.evaluate(operands[0].lstrip("cr"), ctx) & 7
+                bi = crf * 4 + bi
+            disp = self._branch_disp(target, ctx, 14)
+            return [(16 << 26) | (bo << 21) | (bi << 16) | (disp << 2)]
+        if mnemonic == "bc":
+            bo = self.evaluate(operands[0], ctx) & 31
+            bi = self.evaluate(operands[1], ctx) & 31
+            disp = self._branch_disp(operands[2], ctx, 14)
+            return [(16 << 26) | (bo << 21) | (bi << 16) | (disp << 2)]
+        if mnemonic in ("blr", "bctr"):
+            xo = 16 if mnemonic == "blr" else 528
+            return [(19 << 26) | (20 << 21) | (xo << 1)]
+        if mnemonic in ("blrl", "bctrl"):
+            xo = 16 if mnemonic == "blrl" else 528
+            return [(19 << 26) | (20 << 21) | (xo << 1) | 1]
+        if mnemonic in ("mtlr", "mtctr", "mflr", "mfctr"):
+            reg = self.register(operands[0], lineno)
+            spr = 0x100 if "lr" in mnemonic else 0x120
+            xo = 467 if mnemonic.startswith("mt") else 339
+            return [(31 << 26) | (reg << 21) | (spr << 11) | (xo << 1)]
+        if mnemonic == "mfcr":
+            reg = self.register(operands[0], lineno)
+            return [self._x_form(reg, 0, 0, 19)]
+        if mnemonic == "sc":
+            return [(17 << 26) | 2]
+        # -- pseudo-instructions ------------------------------------------------
+        if mnemonic == "li":
+            rt = self.register(operands[0], lineno)
+            value = self.evaluate(operands[1], ctx)
+            return [self._d_form(14, rt, 0, value, ctx)]
+        if mnemonic == "lis":
+            rt = self.register(operands[0], lineno)
+            value = self.evaluate(operands[1], ctx)
+            return [self._d_form(15, rt, 0, value, ctx)]
+        if mnemonic == "liw":
+            # Full 32-bit constant: lis + ori (stable 2 words).
+            rt = self.register(operands[0], lineno)
+            value = self.evaluate(operands[1], ctx) & 0xFFFFFFFF
+            high = (value >> 16) & 0xFFFF
+            low = value & 0xFFFF
+            lis = (15 << 26) | (rt << 21) | high
+            ori = (24 << 26) | (rt << 21) | (rt << 16) | low
+            return [lis, ori]
+        if mnemonic == "mr":
+            ra = self.register(operands[0], lineno)
+            rs = self.register(operands[1], lineno)
+            return [self._x_form(rs, ra, rs, 444, rc)]
+        if mnemonic == "subi":
+            rt = self.register(operands[0], lineno)
+            ra = self.register(operands[1], lineno)
+            value = -self.evaluate(operands[2], ctx)
+            return [self._d_form(14, rt, ra, value, ctx)]
+        if mnemonic == "nop":
+            return [(24 << 26)]  # ori 0,0,0
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", lineno)

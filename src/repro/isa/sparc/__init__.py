@@ -1,0 +1,21 @@
+"""SPARC V8 (user-mode subset, flat registers, no delay slots)."""
+
+import os
+
+from repro.isa.base import IsaBundle, register
+from repro.isa.sparc.abi import ABI
+from repro.isa.sparc.assembler import SparcAssembler
+
+BUNDLE = register(
+    IsaBundle(
+        name="sparc",
+        package_dir=os.path.dirname(__file__),
+        isa_file="sparc.lis",
+        os_file="sparc_os.lis",
+        buildset_file="sparc_buildsets.lis",
+        abi=ABI,
+        assembler_factory=SparcAssembler,
+    )
+)
+
+__all__ = ["ABI", "BUNDLE", "SparcAssembler"]

@@ -1,0 +1,14 @@
+"""SPARC syscall and stack conventions."""
+
+from repro.sysemu.syscalls import SyscallABI
+
+#: %g1 carries the syscall number, %o0-%o2 the arguments, %o0 the
+#: result; %o6 is the stack pointer.
+ABI = SyscallABI(
+    regfile="R",
+    number_reg=1,
+    arg_regs=(8, 9, 10),
+    ret_reg=8,
+    error_reg=None,
+    stack_reg=14,
+)

@@ -1,0 +1,168 @@
+"""Two-pass assembler for the SPARC subset.
+
+SPARC syntax (no delay slots in this subset — see sparc.lis)::
+
+    add     %g1, %g2, %g3
+    sub     %o0, 5, %o0
+    sethi   0x48d15, %g1        @ raw 22-bit immediate form
+    set     0x12345678, %g1     @ pseudo: sethi + or (always 2 words)
+    ld      [%o0 + 4], %l0
+    st      %l0, [%o0]
+    subcc   %l1, 0, %g0         @ compare via %g0 destination
+    cmp     %l1, 5              @ pseudo for subcc ..., %g0
+    bne     loop
+    call    func                @ writes %o7
+    retl                        @ jmpl %o7 + 4, %g0 (no delay slot)
+    ta      0                   @ trap always: syscall
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.asmcore import AsmContext, AsmError, Assembler
+
+REG_PREFIX = {"g": 0, "o": 8, "l": 16, "i": 24}
+
+ARITH = {
+    "add": 0x00, "and": 0x01, "or": 0x02, "xor": 0x03, "sub": 0x04,
+    "andn": 0x05, "orn": 0x06, "xnor": 0x07, "umul": 0x0A, "smul": 0x0B,
+    "addcc": 0x10, "andcc": 0x11, "orcc": 0x12, "xorcc": 0x13,
+    "subcc": 0x14, "sll": 0x25, "srl": 0x26, "sra": 0x27,
+    "save": 0x3C, "restore": 0x3D,
+}
+
+LOADS = {"ld": 0x00, "ldub": 0x01, "lduh": 0x02, "ldsb": 0x09, "ldsh": 0x0A}
+STORES = {"st": 0x04, "stb": 0x05, "sth": 0x06}
+
+BRANCHES = {
+    "ba": 8, "bn": 0, "bne": 9, "be": 1, "bg": 10, "ble": 2, "bge": 11,
+    "bl": 3, "bgu": 12, "bleu": 4, "bcc": 13, "bcs": 5, "bpos": 14,
+    "bneg": 6, "bvc": 15, "bvs": 7, "bnz": 9, "bz": 1,
+}
+
+
+class SparcAssembler(Assembler):
+    """Assembler for the SPARC subset described in ``sparc.lis``."""
+
+    ilen = 4
+    endian = "big"
+    comment_re = re.compile(r"(?:!|;|//|@).*")
+
+    def register(self, text: str, lineno: int) -> int:
+        text = text.strip().lower()
+        if not text.startswith("%"):
+            raise AsmError(f"expected register, got {text!r}", lineno)
+        body = text[1:]
+        if body == "sp":
+            return 14
+        if body == "fp":
+            return 30
+        if body.startswith("r") and body[1:].isdigit() and int(body[1:]) < 32:
+            return int(body[1:])
+        if body and body[0] in REG_PREFIX and body[1:].isdigit():
+            index = int(body[1:])
+            if index < 8:
+                return REG_PREFIX[body[0]] + index
+        raise AsmError(f"no register {text!r}", lineno)
+
+    def _reg_or_imm(self, text: str, ctx: AsmContext) -> int:
+        """Encode the rs2/simm13 field with the i bit."""
+        text = text.strip()
+        if text.startswith("%"):
+            return self.register(text, ctx.lineno)
+        value = self.evaluate(text, ctx)
+        value = self.check_range(value, 13, True, ctx.lineno, "immediate")
+        return (1 << 13) | value
+
+    def _f3(self, op: int, op3: int, rd: int, rs1: int, operand2: int) -> int:
+        return (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | operand2
+
+    def _address(self, text: str, ctx: AsmContext) -> tuple[int, int]:
+        """Parse '[%rs1 + off]' -> (rs1, operand2 bits)."""
+        match = re.fullmatch(r"\[\s*([^\]]+?)\s*\]", text.strip())
+        if not match:
+            raise AsmError(f"bad address {text!r}", ctx.lineno)
+        inner = match.group(1)
+        plus = re.match(r"(%\w+)\s*([+-])\s*(.+)", inner)
+        if plus:
+            rs1 = self.register(plus.group(1), ctx.lineno)
+            rest = plus.group(3).strip()
+            if rest.startswith("%"):
+                if plus.group(2) == "-":
+                    raise AsmError("register offsets cannot be negative", ctx.lineno)
+                return rs1, self.register(rest, ctx.lineno)
+            value = self.evaluate(rest, ctx)
+            if plus.group(2) == "-":
+                value = -value
+            value = self.check_range(value, 13, True, ctx.lineno, "offset")
+            return rs1, (1 << 13) | value
+        return self.register(inner, ctx.lineno), (1 << 13)  # offset 0
+
+    def instruction_size(self, mnemonic: str, operands: list[str]) -> int:
+        return 8 if mnemonic == "set" else 4
+
+    def encode(self, mnemonic: str, operands: list[str], ctx: AsmContext) -> list[int]:
+        lineno = ctx.lineno
+        if mnemonic in ARITH:
+            rs1 = self.register(operands[0], lineno)
+            operand2 = self._reg_or_imm(operands[1], ctx)
+            rd = self.register(operands[2], lineno)
+            return [self._f3(2, ARITH[mnemonic], rd, rs1, operand2)]
+        if mnemonic in LOADS:
+            rs1, operand2 = self._address(operands[0], ctx)
+            rd = self.register(operands[1], lineno)
+            return [self._f3(3, LOADS[mnemonic], rd, rs1, operand2)]
+        if mnemonic in STORES:
+            rd = self.register(operands[0], lineno)
+            rs1, operand2 = self._address(operands[1], ctx)
+            return [self._f3(3, STORES[mnemonic], rd, rs1, operand2)]
+        if mnemonic in BRANCHES:
+            dest = self.evaluate(operands[0], ctx)
+            disp = (dest - ctx.addr) // 4
+            if ctx.pass_index == 2:
+                disp = self.check_range(disp, 22, True, lineno, "branch disp")
+            return [(BRANCHES[mnemonic] << 25) | (0x2 << 22) | (disp & 0x3FFFFF)]
+        if mnemonic == "sethi":
+            value = self.evaluate(operands[0], ctx) & 0x3FFFFF
+            rd = self.register(operands[1], lineno)
+            return [(rd << 25) | (0x4 << 22) | value]
+        if mnemonic == "call":
+            dest = self.evaluate(operands[0], ctx)
+            disp = (dest - ctx.addr) // 4
+            return [(1 << 30) | (disp & 0x3FFFFFFF)]
+        if mnemonic == "jmpl":
+            rs1, operand2 = self._address(operands[0], ctx)
+            rd = self.register(operands[1], lineno)
+            return [self._f3(2, 0x38, rd, rs1, operand2)]
+        if mnemonic == "rd":  # rd %y, reg
+            rd = self.register(operands[1], lineno)
+            return [self._f3(2, 0x28, rd, 0, 0)]
+        if mnemonic == "wr":  # wr reg, 0, %y
+            rs1 = self.register(operands[0], lineno)
+            operand2 = self._reg_or_imm(operands[1], ctx)
+            return [self._f3(2, 0x30, 0, rs1, operand2)]
+        if mnemonic in ("ta", "tn"):
+            cond = 8 if mnemonic == "ta" else 0
+            operand2 = self._reg_or_imm(operands[0] if operands else "0", ctx)
+            return [self._f3(2, 0x3A, cond, 0, operand2)]
+        # -- pseudo-instructions ------------------------------------------------
+        if mnemonic == "set":
+            value = self.evaluate(operands[0], ctx) & 0xFFFFFFFF
+            rd = self.register(operands[1], lineno)
+            sethi = (rd << 25) | (0x4 << 22) | (value >> 10)
+            orlow = self._f3(2, 0x02, rd, rd, (1 << 13) | (value & 0x3FF))
+            return [sethi, orlow]
+        if mnemonic == "mov":
+            operand2 = self._reg_or_imm(operands[0], ctx)
+            rd = self.register(operands[1], lineno)
+            return [self._f3(2, 0x02, rd, 0, operand2)]  # or %g0, src, rd
+        if mnemonic == "cmp":
+            rs1 = self.register(operands[0], lineno)
+            operand2 = self._reg_or_imm(operands[1], ctx)
+            return [self._f3(2, 0x14, 0, rs1, operand2)]  # subcc -> %g0
+        if mnemonic == "retl":
+            return [self._f3(2, 0x38, 0, 15, (1 << 13) | 4)]  # jmpl %o7+4,%g0
+        if mnemonic == "nop":
+            return [(0x4 << 22)]  # sethi 0, %g0
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", lineno)

@@ -1,0 +1,158 @@
+"""Pure arithmetic helpers available to ADL semantics snippets.
+
+These are the fixed-width operations an ISA manual assumes.  They are
+bound into every generated simulator module and are also used by the
+constant folder at block-translation time, so they must be pure functions
+of their arguments.
+"""
+
+from __future__ import annotations
+
+_M8 = 0xFF
+_M16 = 0xFFFF
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+
+def u8(x: int) -> int:
+    """Truncate to unsigned 8-bit."""
+    return x & _M8
+
+
+def u16(x: int) -> int:
+    """Truncate to unsigned 16-bit."""
+    return x & _M16
+
+
+def u32(x: int) -> int:
+    """Truncate to unsigned 32-bit."""
+    return x & _M32
+
+
+def u64(x: int) -> int:
+    """Truncate to unsigned 64-bit."""
+    return x & _M64
+
+
+def i8(x: int) -> int:
+    """Reinterpret low 8 bits as signed."""
+    x &= _M8
+    return x - 0x100 if x & 0x80 else x
+
+
+def i16(x: int) -> int:
+    """Reinterpret low 16 bits as signed."""
+    x &= _M16
+    return x - 0x10000 if x & 0x8000 else x
+
+
+def i32(x: int) -> int:
+    """Reinterpret low 32 bits as signed."""
+    x &= _M32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def i64(x: int) -> int:
+    """Reinterpret low 64 bits as signed."""
+    x &= _M64
+    return x - 0x10000000000000000 if x & 0x8000000000000000 else x
+
+
+def sext(x: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``x`` (result may be negative)."""
+    x &= (1 << bits) - 1
+    return x - (1 << bits) if x & (1 << (bits - 1)) else x
+
+
+def rotl32(x: int, n: int) -> int:
+    """Rotate a 32-bit value left by ``n``."""
+    n &= 31
+    x &= _M32
+    return ((x << n) | (x >> (32 - n))) & _M32 if n else x
+
+
+def rotr32(x: int, n: int) -> int:
+    """Rotate a 32-bit value right by ``n``."""
+    n &= 31
+    x &= _M32
+    return ((x >> n) | (x << (32 - n))) & _M32 if n else x
+
+
+def rotl64(x: int, n: int) -> int:
+    """Rotate a 64-bit value left by ``n``."""
+    n &= 63
+    x &= _M64
+    return ((x << n) | (x >> (64 - n))) & _M64 if n else x
+
+
+def rotr64(x: int, n: int) -> int:
+    """Rotate a 64-bit value right by ``n``."""
+    n &= 63
+    x &= _M64
+    return ((x >> n) | (x << (64 - n))) & _M64 if n else x
+
+
+def clz32(x: int) -> int:
+    """Count leading zeros of a 32-bit value (32 for zero)."""
+    x &= _M32
+    return 32 - x.bit_length()
+
+
+def ctz32(x: int) -> int:
+    """Count trailing zeros of a 32-bit value (32 for zero)."""
+    x &= _M32
+    return (x & -x).bit_length() - 1 if x else 32
+
+
+def popcount(x: int) -> int:
+    """Number of set bits."""
+    return bin(x).count("1")
+
+
+def carry_add32(a: int, b: int, cin: int = 0) -> int:
+    """Carry-out of a 32-bit addition (0 or 1)."""
+    return 1 if (a & _M32) + (b & _M32) + cin > _M32 else 0
+
+
+def carry_add64(a: int, b: int, cin: int = 0) -> int:
+    """Carry-out of a 64-bit addition (0 or 1)."""
+    return 1 if (a & _M64) + (b & _M64) + cin > _M64 else 0
+
+
+def borrow_sub32(a: int, b: int, bin_: int = 0) -> int:
+    """Borrow-out of a 32-bit subtraction (0 or 1).
+
+    Returns 1 when ``a - b - bin_`` underflows (i.e. NOT the ARM carry
+    convention; ARM descriptions invert this themselves).
+    """
+    return 1 if (a & _M32) < (b & _M32) + bin_ else 0
+
+
+def overflow_add32(a: int, b: int, r: int) -> int:
+    """Signed-overflow flag of a 32-bit addition with result ``r``."""
+    return 1 if (~(a ^ b) & (a ^ r)) & 0x80000000 else 0
+
+
+def overflow_sub32(a: int, b: int, r: int) -> int:
+    """Signed-overflow flag of a 32-bit subtraction with result ``r``."""
+    return 1 if ((a ^ b) & (a ^ r)) & 0x80000000 else 0
+
+
+def overflow_add64(a: int, b: int, r: int) -> int:
+    """Signed-overflow flag of a 64-bit addition with result ``r``."""
+    return 1 if (~(a ^ b) & (a ^ r)) & 0x8000000000000000 else 0
+
+
+def overflow_sub64(a: int, b: int, r: int) -> int:
+    """Signed-overflow flag of a 64-bit subtraction with result ``r``."""
+    return 1 if ((a ^ b) & (a ^ r)) & 0x8000000000000000 else 0
+
+
+#: Everything a snippet may call without being considered effectful,
+#: excluding the simulator-state primitives bound at generation time.
+PURE_NAMESPACE: dict[str, object] = {
+    name: obj
+    for name, obj in list(globals().items())
+    if callable(obj) and not name.startswith("_")
+}
+PURE_NAMESPACE.update({"bool": bool, "int": int, "abs": abs, "min": min, "max": max})

@@ -1,0 +1,19 @@
+"""Simulator synthesis: the single-specification principle, executable.
+
+The public surface is :func:`synthesize` plus the option/record types it
+returns; everything else is generation machinery.
+"""
+
+from repro.synth.codegen import SynthOptions
+from repro.synth.errors import SynthesisError
+from repro.synth.runtime import RunResult, SynthesizedSimulator
+from repro.synth.synthesizer import GeneratedSimulator, synthesize
+
+__all__ = [
+    "GeneratedSimulator",
+    "RunResult",
+    "SynthOptions",
+    "SynthesisError",
+    "SynthesizedSimulator",
+    "synthesize",
+]

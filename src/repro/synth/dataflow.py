@@ -1,0 +1,141 @@
+"""Liveness analysis and dead-code elimination over snippet statements.
+
+This implements the paper's §IV observation that, once hidden fields
+become locals, "the computation of information which is not actually
+needed semantically and not part of the interface becomes dead code which
+can be optimized away."  The compiler in the paper's C++ setting is gcc;
+here the synthesizer is the compiler, so the elimination is explicit.
+
+Statements are *anchored* (never removed) when they have architectural
+side effects: register-file stores, memory writes, syscalls, calls to
+unknown functions.  Everything else survives only while some later-kept
+statement or interface-visible field reads its results.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.adl.snippets import StmtFacts, analyze_stmt
+
+
+@dataclass(frozen=True)
+class TaggedStmt:
+    """A statement plus the action it came from (used for step splitting)."""
+
+    action: str
+    stmt: ast.stmt
+
+
+def stmt_is_anchored(facts: StmtFacts, pure_extra: frozenset[str]) -> bool:
+    """True when the statement must run regardless of liveness.
+
+    ``pure_extra`` holds spec-level helper names (pure by contract) so that
+    calls to them do not anchor a statement.
+    """
+    if facts.effects or facts.subscript_writes:
+        return True
+    return bool(facts.unknown_calls - pure_extra)
+
+
+def eliminate_dead(
+    stmts: list[TaggedStmt],
+    live_out: set[str],
+    pure_extra: frozenset[str] = frozenset(),
+) -> list[TaggedStmt]:
+    """Backward-liveness dead-code elimination.
+
+    ``live_out`` is the set of names that must hold correct values when the
+    statement list finishes (interface-visible fields, ``next_pc``,
+    ``fault``, carried values).  Returns the kept statements in original
+    order.  ``if`` statements are processed recursively with conservative
+    kill sets: a write under a condition never removes a name from the
+    live set of code above it.
+    """
+    kept_rev: list[TaggedStmt] = []
+    live = set(live_out)
+    for tagged in reversed(stmts):
+        stmt = tagged.stmt
+        if isinstance(stmt, ast.If):
+            result = _eliminate_in_if(stmt, live, pure_extra, tagged.action)
+            if result is not None:
+                new_if, reads = result
+                live |= reads
+                kept_rev.append(TaggedStmt(tagged.action, new_if))
+            continue
+        if isinstance(stmt, ast.Pass):
+            continue
+        facts = analyze_stmt(stmt)
+        anchored = stmt_is_anchored(facts, pure_extra)
+        if not anchored and not (facts.writes & live):
+            continue  # dead: writes nothing anyone needs
+        if _is_unconditional_kill(stmt):
+            live -= facts.writes
+        live |= facts.reads
+        kept_rev.append(tagged)
+    return list(reversed(kept_rev))
+
+
+def _is_unconditional_kill(stmt: ast.stmt) -> bool:
+    """True for plain ``name = expr`` whose write definitely happens."""
+    return (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+    )
+
+
+def _eliminate_in_if(
+    stmt: ast.If,
+    live: set[str],
+    pure_extra: frozenset[str],
+    action: str,
+) -> tuple[ast.If, set[str]] | None:
+    """DCE inside one ``if``; returns (new statement, names it reads)."""
+    body = eliminate_dead(
+        [TaggedStmt(action, s) for s in stmt.body], live, pure_extra
+    )
+    orelse = eliminate_dead(
+        [TaggedStmt(action, s) for s in stmt.orelse], live, pure_extra
+    )
+    if not body and not orelse:
+        return None
+    reads: set[str] = set()
+    test_facts = _expr_reads(stmt.test)
+    reads |= test_facts
+    for tagged in body + orelse:
+        facts = analyze_stmt(tagged.stmt)
+        reads |= facts.reads
+    new_body = [t.stmt for t in body] or [ast.Pass()]
+    new_if = ast.If(stmt.test, new_body, [t.stmt for t in orelse])
+    ast.copy_location(new_if, stmt)
+    ast.fix_missing_locations(new_if)
+    return new_if, reads
+
+
+def _expr_reads(expr: ast.expr) -> set[str]:
+    reads: set[str] = set()
+    called: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            reads.add(node.id)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            called.add(node.func.id)
+    return reads - called
+
+
+def assigned_names(stmts: list[TaggedStmt]) -> set[str]:
+    """All names written anywhere in the statement list."""
+    out: set[str] = set()
+    for tagged in stmts:
+        out |= analyze_stmt(tagged.stmt).writes
+    return out
+
+
+def read_names(stmts: list[TaggedStmt]) -> set[str]:
+    """All names read anywhere in the statement list."""
+    out: set[str] = set()
+    for tagged in stmts:
+        out |= analyze_stmt(tagged.stmt).reads
+    return out

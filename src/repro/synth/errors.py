@@ -1,0 +1,7 @@
+"""Errors raised by the simulator synthesizer."""
+
+from __future__ import annotations
+
+
+class SynthesisError(Exception):
+    """A specification cannot be synthesized for the requested buildset."""

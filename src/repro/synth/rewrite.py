@@ -1,0 +1,234 @@
+"""AST rewrites applied to kept statements during code generation.
+
+Three concerns live here:
+
+* binding the ADL's abstract primitives (``__fetch``, ``__mem_read``,
+  ``__mem_write``, ``__syscall``, ``__raise``) to the concrete runtime
+  (a :class:`repro.arch.memory.Memory` local and simulator methods);
+* inlining fixed-width truncations (``u64(x)`` -> ``x & 0xFF..F``) so hot
+  generated code avoids a Python call per ALU result;
+* speculation support: journaling register-file and memory writes so
+  :meth:`repro.arch.state.ArchState.rollback` can undo them, the ADL's
+  "instruction information structure carries enough information to roll
+  back the architectural effects of each instruction".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+_MASKS = {"u8": 0xFF, "u16": 0xFFFF, "u32": 0xFFFFFFFF, "u64": (1 << 64) - 1}
+
+
+def _name(identifier: str) -> ast.Name:
+    return ast.Name(identifier, ast.Load())
+
+
+def _store(identifier: str) -> ast.Name:
+    return ast.Name(identifier, ast.Store())
+
+
+def _call_method(obj: str, method: str, args: list[ast.expr]) -> ast.Call:
+    return ast.Call(ast.Attribute(_name(obj), method, ast.Load()), args, [])
+
+
+@dataclass
+class RewriteContext:
+    """Settings for one generated body."""
+
+    ilen: int
+    speculate: bool
+    regfiles: frozenset[str]
+    mem_var: str = "__mem"
+    journal_var: str = "__j"
+    #: mutable counter for unique temporaries within one body
+    temp_counter: list[int] = field(default_factory=lambda: [0])
+
+    def fresh_temp(self) -> str:
+        self.temp_counter[0] += 1
+        return f"__t{self.temp_counter[0]}"
+
+
+class _ExprRewriter(ast.NodeTransformer):
+    """Rewrites nested expressions: primitives and width masks."""
+
+    def __init__(self, ctx: RewriteContext) -> None:
+        self.ctx = ctx
+
+    def visit_Call(self, node: ast.Call) -> ast.expr:
+        self.generic_visit(node)
+        if not isinstance(node.func, ast.Name):
+            return node
+        fn = node.func.id
+        if fn == "__fetch":
+            return ast.copy_location(
+                _call_method(
+                    self.ctx.mem_var, "read", [node.args[0], ast.Constant(self.ctx.ilen)]
+                ),
+                node,
+            )
+        if fn in ("__mem_read", "__mem_read_s"):
+            call = _call_method(self.ctx.mem_var, "read", list(node.args[:2]))
+            if fn == "__mem_read_s":
+                # signed read: sext(mem.read(a, s), s * 8); size must be constant
+                size = node.args[1]
+                bits = (
+                    ast.Constant(size.value * 8)
+                    if isinstance(size, ast.Constant)
+                    else ast.BinOp(size, ast.Mult(), ast.Constant(8))
+                )
+                call = ast.Call(_name("sext"), [call, bits], [])
+            return ast.copy_location(call, node)
+        if fn in _MASKS and len(node.args) == 1 and not node.keywords:
+            return ast.copy_location(
+                ast.BinOp(node.args[0], ast.BitAnd(), ast.Constant(_MASKS[fn])), node
+            )
+        return node
+
+
+def rewrite_expr(expr: ast.expr, ctx: RewriteContext) -> ast.expr:
+    """Apply expression-level rewrites, returning a new expression."""
+    return ast.fix_missing_locations(_ExprRewriter(ctx).visit(expr))
+
+
+def _is_call_to(stmt: ast.stmt, fn: str) -> ast.Call | None:
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Name)
+        and stmt.value.func.id == fn
+    ):
+        return stmt.value
+    return None
+
+
+def _is_simple(expr: ast.expr) -> bool:
+    return isinstance(expr, (ast.Name, ast.Constant))
+
+
+def _journaled_mem_write(call: ast.Call, ctx: RewriteContext) -> list[ast.stmt]:
+    addr, size, value = call.args
+    out: list[ast.stmt] = []
+    if not _is_simple(addr):
+        temp = ctx.fresh_temp()
+        out.append(ast.Assign([_store(temp)], addr))
+        addr = _name(temp)
+    old = _call_method(ctx.mem_var, "read", [addr, size])
+    record = ast.Tuple([ast.Constant("m"), addr, size, old], ast.Load())
+    out.append(
+        ast.Expr(_call_method(ctx.journal_var, "append", [record]))
+    )
+    out.append(ast.Expr(_call_method(ctx.mem_var, "write", [addr, size, value])))
+    return out
+
+
+def _journaled_regfile_store(
+    target: ast.Subscript, value: ast.expr, ctx: RewriteContext, aug_op=None
+) -> list[ast.stmt]:
+    regfile = target.value.id  # checked by caller
+    index = target.slice
+    out: list[ast.stmt] = []
+    if not _is_simple(index):
+        temp = ctx.fresh_temp()
+        out.append(ast.Assign([_store(temp)], index))
+        index = _name(temp)
+    old = ast.Subscript(_name(regfile), index, ast.Load())
+    record = ast.Tuple(
+        [ast.Constant("r"), ast.Constant(regfile), index, old], ast.Load()
+    )
+    out.append(ast.Expr(_call_method(ctx.journal_var, "append", [record])))
+    new_target = ast.Subscript(_name(regfile), index, ast.Store())
+    if aug_op is None:
+        out.append(ast.Assign([new_target], value))
+    else:
+        out.append(ast.AugAssign(new_target, aug_op, value))
+    return out
+
+
+def rewrite_stmt(stmt: ast.stmt, ctx: RewriteContext) -> list[ast.stmt]:
+    """Rewrite one statement into its generated form (possibly several).
+
+    Handles statement-level primitives (``__syscall``, ``__raise``,
+    ``__mem_write``), speculation journaling of architectural writes, and
+    recurses into ``if`` bodies.  Expression-level rewrites are applied to
+    every contained expression.
+    """
+    # __syscall() -> self._do_syscall(di)
+    if _is_call_to(stmt, "__syscall") is not None:
+        return [ast.Expr(_call_method("self", "_do_syscall", [_name("di")]))]
+    # __raise(code) -> fault = code
+    raise_call = _is_call_to(stmt, "__raise")
+    if raise_call is not None:
+        code = rewrite_expr(raise_call.args[0], ctx)
+        return [ast.Assign([_store("fault")], code)]
+    # __mem_write(a, s, v)
+    write_call = _is_call_to(stmt, "__mem_write")
+    if write_call is not None:
+        args = [rewrite_expr(arg, ctx) for arg in write_call.args]
+        call = ast.Call(write_call.func, args, [])
+        if ctx.speculate:
+            return [ast.fix_missing_locations(s) for s in _journaled_mem_write(call, ctx)]
+        return [
+            ast.fix_missing_locations(
+                ast.Expr(_call_method(ctx.mem_var, "write", args))
+            )
+        ]
+    if isinstance(stmt, ast.If):
+        new_if = ast.If(
+            rewrite_expr(stmt.test, ctx),
+            _rewrite_body(stmt.body, ctx),
+            _rewrite_body(stmt.orelse, ctx) if stmt.orelse else [],
+        )
+        return [ast.fix_missing_locations(ast.copy_location(new_if, stmt))]
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        value = rewrite_expr(stmt.value, ctx)
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in ctx.regfiles
+        ):
+            target = ast.Subscript(
+                target.value, rewrite_expr(target.slice, ctx), ast.Store()
+            )
+            if ctx.speculate:
+                return [
+                    ast.fix_missing_locations(s)
+                    for s in _journaled_regfile_store(target, value, ctx)
+                ]
+        return [ast.fix_missing_locations(ast.Assign([target], value))]
+    if isinstance(stmt, ast.AugAssign):
+        value = rewrite_expr(stmt.value, ctx)
+        target = stmt.target
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in ctx.regfiles
+        ):
+            target = ast.Subscript(
+                target.value, rewrite_expr(target.slice, ctx), ast.Store()
+            )
+            if ctx.speculate:
+                return [
+                    ast.fix_missing_locations(s)
+                    for s in _journaled_regfile_store(target, value, ctx, stmt.op)
+                ]
+        return [ast.fix_missing_locations(ast.AugAssign(target, stmt.op, value))]
+    if isinstance(stmt, ast.Expr):
+        return [ast.fix_missing_locations(ast.Expr(rewrite_expr(stmt.value, ctx)))]
+    if isinstance(stmt, ast.Pass):
+        return []
+    return [ast.fix_missing_locations(stmt)]
+
+
+def _rewrite_body(body: list[ast.stmt], ctx: RewriteContext) -> list[ast.stmt]:
+    out: list[ast.stmt] = []
+    for stmt in body:
+        out.extend(rewrite_stmt(stmt, ctx))
+    return out or [ast.Pass()]
+
+
+def rewrite_stmts(stmts: list[ast.stmt], ctx: RewriteContext) -> list[ast.stmt]:
+    """Rewrite a statement list (top-level entry point)."""
+    return _rewrite_body(stmts, ctx)

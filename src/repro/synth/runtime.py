@@ -1,0 +1,186 @@
+"""Runtime wrapper around a generated simulator module.
+
+A :class:`SynthesizedSimulator` owns the architectural state, binds the
+generated entrypoints as methods, hosts the block code cache, dispatches
+syscalls to the configured OS-emulation handler, and provides a generic
+``run`` driver so tests and benchmarks can execute workloads without
+caring which interface shape (One / Step / Block) was synthesized.
+"""
+
+from __future__ import annotations
+
+import types
+from dataclasses import dataclass
+
+from repro.arch.faults import ExitProgram
+from repro.arch.memory import Memory
+from repro.arch.state import ArchState
+from repro.synth.errors import SynthesisError
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`SynthesizedSimulator.run` call."""
+
+    executed: int
+    exited: bool
+    exit_status: int | None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = f" status={self.exit_status}" if self.exited else ""
+        return f"<RunResult executed={self.executed} exited={self.exited}{status}>"
+
+
+class ProfilingMemory(Memory):
+    """Memory that charges host-operation costs to a counter holder.
+
+    Used only for Table III-style host-cost accounting; never in speed
+    benchmarks (the accounting itself would perturb them).
+    """
+
+    __slots__ = ("owner", "read_cost", "write_cost")
+
+    def __init__(self, endian: str, owner, read_cost: int, write_cost: int) -> None:
+        super().__init__(endian)
+        self.owner = owner
+        self.read_cost = read_cost
+        self.write_cost = write_cost
+
+    def read(self, addr: int, size: int) -> int:
+        self.owner._hops += self.read_cost
+        return super().read(addr, size)
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        self.owner._hops += self.write_cost
+        super().write(addr, size, value)
+
+
+class SynthesizedSimulator:
+    """One executable instance of a synthesized functional simulator."""
+
+    def __init__(
+        self,
+        generated,
+        state: ArchState | None = None,
+        syscall_handler=None,
+    ) -> None:
+        self.generated = generated
+        self.plan = generated.plan
+        self.spec = generated.plan.spec
+        self.buildset = generated.plan.buildset
+        self.state = state if state is not None else self.spec.make_state()
+        self.module_namespace = generated.namespace
+        self.syscall_handler = syscall_handler
+        self._hops = 0
+        self.entry_names = generated.entry_names
+        for name in generated.entry_names:
+            fn = generated.namespace.get(name)
+            if fn is not None:
+                setattr(self, name, types.MethodType(fn, self))
+        self._cache: dict[int, object] = {}
+        self._translator = None
+        if self.buildset.semantic_detail == "block":
+            from repro.synth.translator import BlockTranslator
+
+            self._translator = BlockTranslator(self.plan)
+        if self.plan.options.profile:
+            profiled = ProfilingMemory(
+                self.spec.endian, self, generated.mem_read_cost,
+                generated.mem_write_cost,
+            )
+            profiled.restore(self.state.mem.snapshot())
+            self.state.mem = profiled
+        self.di = self.new_dinst()
+
+    # -- interface plumbing -----------------------------------------------------
+
+    def new_dinst(self):
+        """Create a dynamic-instruction record for this interface."""
+        return self.generated.di_class()
+
+    def _do_syscall(self, di) -> None:
+        if self.syscall_handler is None:
+            raise SynthesisError(
+                f"{self.spec.name}: guest executed a syscall but no handler is "
+                f"configured"
+            )
+        self.syscall_handler(self.state, di)
+
+    # -- block-mode support --------------------------------------------------------
+
+    def do_block(self, di) -> None:
+        """Execute one basic block (generated lazily, memoized)."""
+        pc = self.state.pc
+        fn = self._cache.get(pc)
+        if fn is None:
+            fn = self._translator.translate(self, pc)
+            self._cache[pc] = fn
+        fn(self, di)
+
+    def flush_code_cache(self) -> None:
+        """Drop every translated block (e.g. after loading new code)."""
+        self._cache.clear()
+
+    def block_source(self, pc: int) -> str:
+        """Source of the translated block at ``pc`` (for inspection/tests)."""
+        fn = self._cache.get(pc)
+        if fn is None:
+            fn = self._translator.translate(self, pc)
+            self._cache[pc] = fn
+        return fn.__block_source__
+
+    # -- speculation -------------------------------------------------------------------
+
+    def rollback(self, count: int = 1) -> int:
+        """Undo the last ``count`` speculatively executed instructions."""
+        if not self.buildset.speculation:
+            raise SynthesisError(
+                f"buildset {self.buildset.name!r} was synthesized without "
+                f"speculation support"
+            )
+        return self.state.rollback(count)
+
+    def commit(self, count: int = 1) -> int:
+        """Retire undo records for the oldest ``count`` instructions."""
+        return self.state.commit(count)
+
+    # -- generic driver ------------------------------------------------------------------
+
+    def run(self, max_instructions: int) -> RunResult:
+        """Execute up to ``max_instructions``, stopping early on guest exit."""
+        detail = self.buildset.semantic_detail
+        di = self.di
+        executed = 0
+        try:
+            if detail == "block":
+                do_block = self.do_block
+                while executed < max_instructions:
+                    di.count = 0
+                    do_block(di)
+                    executed += di.count
+            elif detail == "one":
+                entry = getattr(self, self.entry_names[0])
+                while executed < max_instructions:
+                    entry(di)
+                    executed += 1
+            else:
+                entries = [getattr(self, name) for name in self.entry_names]
+                while executed < max_instructions:
+                    for entry in entries:
+                        entry(di)
+                    executed += 1
+        except ExitProgram as exc:
+            if detail == "block":
+                executed += di.count
+            else:
+                executed += 1
+            return RunResult(executed, True, exc.status)
+        return RunResult(executed, False, None)
+
+    @property
+    def hostops(self) -> int:
+        """Host operations charged so far (profile builds only)."""
+        return self._hops
+
+    def reset_hostops(self) -> None:
+        self._hops = 0

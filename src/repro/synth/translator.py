@@ -1,0 +1,536 @@
+"""Runtime basic-block translation (the Block semantic detail level).
+
+The paper accelerates its synthesized simulators with an LLVM-based
+binary translator whose key property is *optimization scope*: "At the
+block level of detail, optimizations can be performed across several
+simulated instructions.  For example, if a simulated register value is
+generated in one simulated instruction and used in a later instruction,
+the binary translator may register-allocate the value." (§V.E)
+
+Our translator reproduces that structure in Python:
+
+* instructions are decoded at translate time, so format bitfields and
+  operand identifiers become compile-time constants
+  (:func:`repro.adl.snippets.propagate_constants`);
+* register values are cached in Python locals across the instructions of
+  a block, with dirty values flushed once at block exit
+  (:class:`RegisterCache`);
+* information hidden by the buildset is removed by the same dead-code
+  elimination used for One/Step interfaces;
+* translated blocks are memoized in a per-simulator code cache.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.adl.snippets import analyze_stmt, propagate_constants
+from repro.adl.spec import Instruction
+from repro.arch.faults import IllegalInstruction
+from repro.ops import PURE_NAMESPACE
+from repro.synth.codegen import (
+    BuildPlan,
+    SourceWriter,
+    assemble_instruction_stmts,
+    predecode_stmts,
+)
+from repro.synth.dataflow import TaggedStmt, assigned_names, eliminate_dead
+from repro.synth.errors import SynthesisError
+from repro.synth.rewrite import RewriteContext, rewrite_stmts
+
+
+def _instr_writes_next_pc(instr: Instruction, post_actions: tuple[str, ...]) -> bool:
+    for action in post_actions:
+        for stmt in instr.action_code.get(action, ()):
+            if "next_pc" in analyze_stmt(stmt).writes:
+                return True
+    return False
+
+
+def _instr_has_syscall(instr: Instruction, post_actions: tuple[str, ...]) -> bool:
+    for action in post_actions:
+        for stmt in instr.action_code.get(action, ()):
+            if "__syscall" in analyze_stmt(stmt).effects:
+                return True
+    return False
+
+
+class RegisterCache:
+    """Caches register-file elements in locals across a block.
+
+    A cached register ``R[5]`` lives in local ``__R_R_5``.  Reads load it
+    on first use; writes mark it dirty; :meth:`flush` stores dirty values
+    back.  Accesses with non-constant indices conservatively flush (and,
+    for writes, invalidate) the whole file.
+    """
+
+    def __init__(self, regfiles: frozenset[str]) -> None:
+        self.regfiles = regfiles
+        self.loaded: set[tuple[str, int]] = set()
+        self.dirty: set[tuple[str, int]] = set()
+
+    @staticmethod
+    def local(file: str, index: int) -> str:
+        return f"__R_{file}_{index}"
+
+    def _load_stmt(self, file: str, index: int) -> ast.stmt:
+        return ast.parse(f"{self.local(file, index)} = {file}[{index}]").body[0]
+
+    def _store_stmt(self, file: str, index: int) -> ast.stmt:
+        return ast.parse(f"{file}[{index}] = {self.local(file, index)}").body[0]
+
+    def flush(self, files: set[str] | None = None) -> list[ast.stmt]:
+        """Stores for dirty registers (all files, or just ``files``)."""
+        out = []
+        for file, index in sorted(self.dirty):
+            if files is None or file in files:
+                out.append(self._store_stmt(file, index))
+        if files is None:
+            self.dirty.clear()
+        else:
+            self.dirty = {k for k in self.dirty if k[0] not in files}
+        return out
+
+    def invalidate(self, files: set[str] | None = None) -> None:
+        if files is None:
+            self.loaded.clear()
+            self.dirty.clear()
+        else:
+            self.loaded = {k for k in self.loaded if k[0] not in files}
+            self.dirty = {k for k in self.dirty if k[0] not in files}
+
+    # -- statement transformation -------------------------------------------
+
+    def transform(self, stmts: list[ast.stmt]) -> list[ast.stmt]:
+        out: list[ast.stmt] = []
+        for stmt in stmts:
+            out.extend(self._transform_stmt(stmt))
+        return out
+
+    def _transform_stmt(self, stmt: ast.stmt) -> list[ast.stmt]:
+        if isinstance(stmt, ast.If):
+            return self._transform_if(stmt)
+        prelude: list[ast.stmt] = []
+        # Handle a direct register store target.
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if self._is_reg_subscript(target):
+                file = target.value.id
+                index = target.slice
+                new_value, more = self._transform_expr(stmt.value)
+                prelude.extend(more)
+                if isinstance(index, ast.Constant):
+                    key = (file, index.value)
+                    if key not in self.loaded:
+                        self.loaded.add(key)
+                    self.dirty.add(key)
+                    assign = ast.parse(
+                        f"{self.local(file, index.value)} = 0"
+                    ).body[0]
+                    assign.value = new_value
+                    return prelude + [ast.fix_missing_locations(assign)]
+                # Non-constant store: flush + invalidate the file.
+                prelude.extend(self.flush({file}))
+                self.invalidate({file})
+                new_index, more = self._transform_expr(index)
+                prelude.extend(more)
+                assign = ast.Assign(
+                    [ast.Subscript(ast.Name(file, ast.Load()), new_index, ast.Store())],
+                    new_value,
+                )
+                return prelude + [ast.fix_missing_locations(assign)]
+        # Generic statement: rewrite contained loads.
+        new_stmt, more = self._transform_reads_in_stmt(stmt)
+        return more + [new_stmt]
+
+    def _is_reg_subscript(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.regfiles
+        )
+
+    def _reads_transformer(self, prelude: list[ast.stmt]) -> ast.NodeTransformer:
+        cache = self
+
+        class Reads(ast.NodeTransformer):
+            def visit_Subscript(self, node: ast.Subscript):
+                self.generic_visit(node)
+                if not isinstance(node.ctx, ast.Load):
+                    return node
+                if not cache._is_reg_subscript(node):
+                    return node
+                file = node.value.id
+                index = node.slice
+                if isinstance(index, ast.Constant):
+                    key = (file, index.value)
+                    if key not in cache.loaded:
+                        prelude.append(cache._load_stmt(file, index.value))
+                        cache.loaded.add(key)
+                    return ast.copy_location(
+                        ast.Name(cache.local(file, index.value), ast.Load()), node
+                    )
+                # Non-constant read: dirty values must reach the list first.
+                prelude.extend(cache.flush({file}))
+                return node
+
+        return Reads()
+
+    def _transform_expr(self, expr: ast.expr) -> tuple[ast.expr, list[ast.stmt]]:
+        prelude: list[ast.stmt] = []
+        new_expr = ast.fix_missing_locations(
+            self._reads_transformer(prelude).visit(expr)
+        )
+        return new_expr, prelude
+
+    def _transform_reads_in_stmt(self, stmt: ast.stmt) -> tuple[ast.stmt, list[ast.stmt]]:
+        prelude: list[ast.stmt] = []
+        new_stmt = ast.fix_missing_locations(
+            self._reads_transformer(prelude).visit(stmt)
+        )
+        return new_stmt, prelude
+
+    def _transform_if(self, stmt: ast.If) -> list[ast.stmt]:
+        # Hoist loads for every constant register access in either branch so
+        # cached locals exist regardless of the path taken; writes inside
+        # branches then dirty the local, and the final flush stores either
+        # the new or the (reloaded) old value - both correct.
+        prelude: list[ast.stmt] = []
+        nonconst = False
+        const_keys: list[tuple[str, int]] = []
+        for node in ast.walk(stmt):
+            if self._is_reg_subscript(node):
+                index = node.slice
+                if isinstance(index, ast.Constant):
+                    const_keys.append((node.value.id, index.value))
+                else:
+                    nonconst = True
+        if nonconst:
+            # Bail out of caching around this statement entirely.
+            prelude.extend(self.flush())
+            self.invalidate()
+            return prelude + [stmt]
+        for key in const_keys:
+            if key not in self.loaded:
+                prelude.append(self._load_stmt(*key))
+                self.loaded.add(key)
+
+        cache = self
+
+        class Rename(ast.NodeTransformer):
+            def visit_Subscript(self, node: ast.Subscript):
+                self.generic_visit(node)
+                if cache._is_reg_subscript(node) and isinstance(
+                    node.slice, ast.Constant
+                ):
+                    key = (node.value.id, node.slice.value)
+                    if isinstance(node.ctx, ast.Store):
+                        cache.dirty.add(key)
+                        return ast.copy_location(
+                            ast.Name(cache.local(*key), ast.Store()), node
+                        )
+                    return ast.copy_location(
+                        ast.Name(cache.local(*key), ast.Load()), node
+                    )
+                return node
+
+        new_if = ast.fix_missing_locations(Rename().visit(stmt))
+        return prelude + [new_if]
+
+
+class BlockTranslator:
+    """Translates basic blocks into specialized Python functions."""
+
+    def __init__(self, plan: BuildPlan) -> None:
+        self.plan = plan
+        spec = plan.spec
+        self._fold_funcs = dict(PURE_NAMESPACE)
+        self._fold_funcs.update(spec.helpers)
+        self._control = {
+            instr.name: _instr_writes_next_pc(instr, plan.post_actions)
+            for instr in spec.instructions
+        }
+        self._syscalls = {
+            instr.name: _instr_has_syscall(instr, plan.post_actions)
+            for instr in spec.instructions
+        }
+
+    #: Host ops charged per generated op for the (one-time) act of
+    #: translating a block; amortized over block executions exactly as the
+    #: paper amortizes its binary-translation cost into Table III.
+    TRANSLATE_COST_FACTOR = 30
+
+    # -- public API -------------------------------------------------------------
+
+    def translate(self, sim, start_pc: int):
+        """Translate the block at ``start_pc`` against current memory."""
+        source, name = self.block_source(sim, start_pc)
+        namespace = dict(sim.module_namespace)
+        code = compile(source, f"<block {start_pc:#x}>", "exec")
+        exec(code, namespace)
+        fn = namespace[name]
+        fn.__block_source__ = source
+        if self.plan.options.profile:
+            import dis
+
+            cost = sum(1 for _ in dis.get_instructions(fn.__code__))
+            lines = source.splitlines(keepends=True)
+            source = lines[0] + f"    self._hops += {cost + 6}\n" + "".join(lines[1:])
+            exec(compile(source, f"<block {start_pc:#x}>", "exec"), namespace)
+            fn = namespace[name]
+            fn.__block_source__ = source
+            sim._hops += cost * self.TRANSLATE_COST_FACTOR
+        return fn
+
+    # -- translation ---------------------------------------------------------------
+
+    def block_source(self, sim, start_pc: int) -> tuple[str, str]:
+        plan = self.plan
+        spec = plan.spec
+        mem = sim.state.mem
+        speculate = plan.buildset.speculation
+        regcache = (
+            RegisterCache(frozenset(spec.regfiles))
+            if plan.options.regcache
+            else None
+        )
+
+        pieces: list[list[ast.stmt]] = []
+        sreg_reads_all: set[str] = set()
+        sreg_writes_all: set[str] = set()
+        mem_used = False
+        reg_files_used: set[str] = set()
+        addr = start_pc
+        count = 0
+        final_next_pc: object = None  # int const or "runtime"
+        ended_by_syscall = False
+
+        while count < plan.options.max_block:
+            word = mem.read(addr, spec.ilen)
+            index = spec.decode(word)
+            if index is None:
+                if count == 0:
+                    raise IllegalInstruction(addr, word)
+                break
+            instr = spec.instructions[index]
+            stmts, env, info = self._translate_instruction(
+                sim, instr, addr, word, regcache, count
+            )
+            pieces.append(stmts)
+            sreg_reads_all |= info["sreg_reads"]
+            sreg_writes_all |= info["sreg_writes"]
+            mem_used = mem_used or info["mem_used"]
+            reg_files_used |= info["regfiles"]
+            count += 1
+            if self._syscalls[instr.name]:
+                ended_by_syscall = True
+                final_next_pc = env.get("next_pc", "runtime")
+                break
+            if info["control"]:
+                final_next_pc = env.get("next_pc", "runtime")
+                break
+            next_const = env.get("next_pc")
+            if not isinstance(next_const, int):
+                final_next_pc = "runtime"
+                break
+            addr = next_const
+            final_next_pc = next_const
+
+        # -- assemble the function ------------------------------------------------
+        flush_stmts = regcache.flush() if regcache is not None else []
+        all_stmts = [s for piece in pieces for s in piece] + flush_stmts
+        names_used = {
+            node.id
+            for stmt in all_stmts
+            for node in ast.walk(stmt)
+            if isinstance(node, ast.Name)
+        }
+        reg_files_bind = names_used & set(spec.regfiles)
+        mem_used = mem_used or "__mem" in names_used
+
+        name = f"_blk_{start_pc:x}"
+        writer = SourceWriter()
+        writer.line(f"def {name}(self, di):")
+        writer.indent()
+        writer.line("__state = self.state")
+        if mem_used:
+            writer.line("__mem = __state.mem")
+        for file in sorted(reg_files_bind):
+            writer.line(f"{file} = __state.rf[{file!r}]")
+        for sreg in sorted(sreg_reads_all | sreg_writes_all):
+            writer.line(f"{sreg} = __state.sr[{sreg!r}]")
+        writer.line("__trace = di.trace")
+        writer.line("__trace.clear()")
+        for stmts in pieces:
+            writer.stmts(stmts)
+        writer.stmts(flush_stmts)
+        for sreg in sorted(sreg_writes_all):
+            writer.line(f"__state.sr[{sreg!r}] = {sreg}")
+        if final_next_pc == "runtime":
+            writer.line("__state.pc = next_pc")
+        else:
+            writer.line(f"__state.pc = {final_next_pc}")
+        writer.line(f"di.count = {count}")
+        return writer.source(), name
+
+    def _translate_instruction(
+        self,
+        sim,
+        instr: Instruction,
+        addr: int,
+        word: int,
+        regcache: RegisterCache | None,
+        position: int,
+    ):
+        plan = self.plan
+        spec = plan.spec
+        speculate = plan.buildset.speculation
+
+        env: dict[str, object] = {"pc": addr, "instr_bits": word}
+        # Fold the pre-decode actions (translate_pc, fetch) symbolically.
+        pre = predecode_stmts(plan)[1:]  # drop `pc = __state.pc`
+        pre_folded, env = propagate_constants(pre, env, self._fold_funcs)
+        env["instr_bits"] = word  # __fetch cannot fold; we already fetched
+        for stmt in pre_folded:
+            facts = analyze_stmt(stmt)
+            unresolved = facts.writes - set(env)
+            if unresolved:
+                raise SynthesisError(
+                    "block interfaces require pre-decode actions that fold "
+                    f"to constants; {sorted(unresolved)} did not"
+                )
+
+        tagged = assemble_instruction_stmts(plan, instr)
+        stmts = [t.stmt for t in tagged]
+        stmts, env = propagate_constants(stmts, env, self._fold_funcs)
+
+        # Liveness: visible fields assigned at runtime must survive;
+        # constants are embedded into the trace record directly.
+        assigned = assigned_names([TaggedStmt("x", s) for s in stmts])
+        sregs_assigned = assigned & set(spec.sregs)
+        live_targets = (
+            (assigned & plan.buildset.visible)
+            | {"next_pc", "fault"}
+            | sregs_assigned
+        )
+        # Promoted constants are embedded rather than kept live — EXCEPT
+        # special registers: their assignment IS the architectural effect
+        # (e.g. a link register set to a constant return address), so it
+        # must survive even when the value folded.
+        live_out = {
+            f for f in live_targets if f not in env or f in sregs_assigned
+        }
+        if plan.options.dce:
+            kept = eliminate_dead(
+                [TaggedStmt("x", s) for s in stmts], live_out, plan.pure_names
+            )
+            stmts = [t.stmt for t in kept]
+
+        # Control transfer is a per-encoding fact: an ARM data-processing
+        # instruction writes next_pc only when its destination is R15, and
+        # decode-time constant folding has already resolved that here.
+        next_const = env.get("next_pc")
+        is_control = (
+            "next_pc" in assigned_names([TaggedStmt("x", s) for s in stmts])
+            or (isinstance(next_const, int) and next_const != addr + spec.ilen)
+        )
+
+        sregs = set(spec.sregs)
+        sreg_reads: set[str] = set()
+        sreg_writes: set[str] = set()
+        for stmt in stmts:
+            facts = analyze_stmt(stmt)
+            sreg_reads |= facts.reads & sregs
+            sreg_writes |= facts.writes & sregs
+
+        ctx = RewriteContext(
+            ilen=spec.ilen, speculate=speculate, regfiles=frozenset(spec.regfiles)
+        )
+        stmts = rewrite_stmts(stmts, ctx)
+
+        has_syscall = self._syscalls[instr.name]
+        out: list[ast.stmt] = []
+
+        if speculate:
+            out.append(ast.parse(f"__j = [('p', {addr})]").body[0])
+            for sreg in sorted(sreg_writes):
+                out.append(ast.parse(f"__j.append(('s', {sreg!r}, {sreg}))").body[0])
+
+        # Defensive defaults for conditionally-assigned runtime fields.
+        maybe_unset = self._conditionally_assigned(stmts) & live_out
+        for field_name in sorted(maybe_unset):
+            default = env.get(field_name, 0)
+            if field_name == "next_pc":
+                default = addr + spec.ilen
+            if isinstance(default, (int, bool)):
+                out.append(ast.parse(f"{field_name} = {int(default)}").body[0])
+
+        trace_values = self._trace_tuple(instr, env, assigned, live_out)
+
+        if has_syscall:
+            # Handler may mutate registers/memory and may raise ExitProgram:
+            # flush cached state and record the trace entry and progress
+            # count first so a guest exit leaves the interface consistent.
+            if regcache is not None:
+                out.extend(regcache.flush())
+                regcache.invalidate()
+            out.append(ast.parse(f"__trace.append({trace_values})").body[0])
+            out.append(ast.parse(f"di.count = {position + 1}").body[0])
+
+        body = regcache.transform(stmts) if regcache is not None else stmts
+        out.extend(body)
+
+        if speculate:
+            out.append(ast.parse("__state.journal.append(__j)").body[0])
+        if not has_syscall:
+            out.append(ast.parse(f"__trace.append({trace_values})").body[0])
+
+        info = {
+            "control": is_control,
+            "sreg_reads": sreg_reads,
+            "sreg_writes": sreg_writes,
+            "mem_used": any(
+                isinstance(n, ast.Name) and n.id == "__mem"
+                for s in out
+                for n in ast.walk(s)
+            ),
+            "regfiles": {
+                n.id
+                for s in out
+                for n in ast.walk(s)
+                if isinstance(n, ast.Name) and n.id in spec.regfiles
+            },
+        }
+        out = [s for s in out if not isinstance(s, ast.Pass)]
+        return out, env, info
+
+    def _conditionally_assigned(self, stmts: list[ast.stmt]) -> set[str]:
+        sure: set[str] = set()
+        conditional: set[str] = set()
+        for stmt in stmts:
+            facts = analyze_stmt(stmt)
+            if isinstance(stmt, ast.If):
+                conditional |= facts.writes - sure
+            else:
+                sure |= facts.writes
+        return conditional - sure
+
+    def _trace_tuple(
+        self,
+        instr: Instruction,
+        env: dict[str, object],
+        assigned: set[str],
+        live_out: set[str],
+    ) -> str:
+        values: list[str] = []
+        for field_name in self.plan.trace_fields:
+            if field_name in env:
+                values.append(repr(env[field_name]))
+            elif field_name in assigned:
+                values.append(field_name)
+            else:
+                values.append("None")
+        inner = ", ".join(values)
+        if len(values) == 1:
+            inner += ","
+        return f"({inner})"

@@ -1,0 +1,26 @@
+"""User-mode OS emulation and program loading."""
+
+from repro.sysemu.loader import ProgramImage, load_image
+from repro.sysemu.syscalls import (
+    SYS_BRK,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_READ,
+    SYS_TIME,
+    SYS_WRITE,
+    OSEmulator,
+    SyscallABI,
+)
+
+__all__ = [
+    "OSEmulator",
+    "ProgramImage",
+    "SYS_BRK",
+    "SYS_EXIT",
+    "SYS_GETPID",
+    "SYS_READ",
+    "SYS_TIME",
+    "SYS_WRITE",
+    "SyscallABI",
+    "load_image",
+]

@@ -1,0 +1,54 @@
+"""Program images and loading.
+
+Our assemblers produce a :class:`ProgramImage` (segments + entry point +
+symbol table) rather than a full ELF file; the loader writes it into
+guest memory and establishes the initial register environment (stack
+pointer per the ISA's :class:`~repro.sysemu.syscalls.SyscallABI`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.state import ArchState
+from repro.sysemu.syscalls import SyscallABI
+
+DEFAULT_STACK_TOP = 0x00F0_0000
+DEFAULT_STACK_SIZE = 0x0010_0000
+
+
+@dataclass
+class ProgramImage:
+    """A loadable guest program."""
+
+    entry: int
+    segments: list[tuple[int, bytes]] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    def add_segment(self, addr: int, data: bytes) -> None:
+        self.segments.append((addr, bytes(data)))
+
+    @property
+    def size(self) -> int:
+        return sum(len(data) for _, data in self.segments)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"program has no symbol {name!r}") from None
+
+
+def load_image(
+    state: ArchState,
+    image: ProgramImage,
+    abi: SyscallABI | None = None,
+    stack_top: int = DEFAULT_STACK_TOP,
+) -> None:
+    """Write ``image`` into memory, set the entry PC and the stack pointer."""
+    for addr, data in image.segments:
+        state.mem.write_bytes(addr, data)
+    state.pc = image.entry
+    if abi is not None and abi.stack_reg is not None:
+        mask = (1 << state.regfile_def(abi.regfile).width) - 1
+        state.rf[abi.regfile][abi.stack_reg] = stack_top & mask

@@ -1,0 +1,30 @@
+"""Timing simulators: the decoupled-organization taxonomy of Figure 1."""
+
+from repro.timing.branch import AlwaysTakenPredictor, BimodalPredictor
+from repro.timing.cache import Cache, CacheStats
+from repro.timing.classify import InstructionClassifier
+from repro.timing.functional_first import FunctionalFirstSimulator
+from repro.timing.integrated import IntegratedSimulator
+from repro.timing.pipeline import InOrderPipelineModel, TimingReport, default_caches
+from repro.timing.sampling import SamplingReport, SamplingSimulator
+from repro.timing.spec_functional_first import SpeculativeFunctionalFirstSimulator
+from repro.timing.timing_directed import TimingDirectedSimulator
+from repro.timing.timing_first import TimingFirstSimulator
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "Cache",
+    "CacheStats",
+    "FunctionalFirstSimulator",
+    "InOrderPipelineModel",
+    "InstructionClassifier",
+    "IntegratedSimulator",
+    "SamplingReport",
+    "SamplingSimulator",
+    "SpeculativeFunctionalFirstSimulator",
+    "TimingDirectedSimulator",
+    "TimingFirstSimulator",
+    "TimingReport",
+    "default_caches",
+]

@@ -1,0 +1,102 @@
+"""Branch prediction timing models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    correct: int = 0
+    mispredicted: int = 0
+
+    @property
+    def predictions(self) -> int:
+        return self.correct + self.mispredicted
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class BimodalPredictor:
+    """Classic 2-bit saturating-counter predictor indexed by PC."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self._table = [2] * entries  # weakly taken
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True when the prediction was right."""
+        index = self._index(pc)
+        predicted = self._table[index] >= 2
+        if taken and self._table[index] < 3:
+            self._table[index] += 1
+        elif not taken and self._table[index] > 0:
+            self._table[index] -= 1
+        if predicted == taken:
+            self.stats.correct += 1
+        else:
+            self.stats.mispredicted += 1
+        return predicted == taken
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed 2-bit predictor."""
+
+    def __init__(self, entries: int = 1024, history_bits: int = 8) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history = 0
+        self._table = [2] * entries
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = self._index(pc)
+        predicted = self._table[index] >= 2
+        if taken and self._table[index] < 3:
+            self._table[index] += 1
+        elif not taken and self._table[index] > 0:
+            self._table[index] -= 1
+        self._history = (
+            (self._history << 1) | (1 if taken else 0)
+        ) & ((1 << self.history_bits) - 1)
+        if predicted == taken:
+            self.stats.correct += 1
+        else:
+            self.stats.mispredicted += 1
+        return predicted == taken
+
+
+class AlwaysTakenPredictor:
+    """Degenerate baseline predictor."""
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> bool:
+        if taken:
+            self.stats.correct += 1
+        else:
+            self.stats.mispredicted += 1
+        return taken

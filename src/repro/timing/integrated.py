@@ -1,0 +1,67 @@
+"""Integrated organization (paper §II-A).
+
+"The integrated organization uses only a single simulator which
+intermingles the functional and timing aspects ... and thus does not have
+a separate functional simulator nor an interface."  We model it as one
+loop that executes functionally and accounts cycles inline — useful as
+the baseline row of the Figure 1 demonstration and as the timing side of
+timing-first.
+"""
+
+from __future__ import annotations
+
+from repro.arch.faults import ExitProgram
+from repro.synth.synthesizer import GeneratedSimulator
+from repro.timing.classify import BRANCH, LOAD, MUL, STORE, InstructionClassifier
+from repro.timing.pipeline import TimingReport, default_caches
+from repro.timing.branch import BimodalPredictor
+
+
+class IntegratedSimulator:
+    """Functional execution and cycle accounting intermingled in one loop."""
+
+    def __init__(self, generated: GeneratedSimulator, syscall_handler=None):
+        if generated.plan.buildset.semantic_detail != "one":
+            raise ValueError("integrated baseline uses a One-detail build")
+        self.sim = generated.make(syscall_handler=syscall_handler)
+        self.classifier = InstructionClassifier(generated.spec)
+        self.icache, self.dcache = default_caches()
+        self.predictor = BimodalPredictor()
+        self.cycles = 0
+        self.instructions = 0
+        self.mispredicts = 0
+
+    @property
+    def state(self):
+        return self.sim.state
+
+    def run(self, max_instructions: int) -> TimingReport:
+        report = TimingReport("integrated")
+        sim = self.sim
+        di = sim.di
+        try:
+            while self.instructions < max_instructions:
+                sim.do_in_one(di)
+                self.instructions += 1
+                kind = self.classifier.kind(di.instr_bits)
+                cycles = self.icache.access(di.pc)
+                if kind in (LOAD, STORE):
+                    cycles += self.dcache.access(
+                        di.effective_addr, kind == STORE
+                    )
+                elif kind == MUL:
+                    cycles += 3
+                if kind == BRANCH and not self.predictor.update(
+                    di.pc, bool(di.branch_taken)
+                ):
+                    cycles += 6
+                    self.mispredicts += 1
+                self.cycles += cycles
+        except ExitProgram as exc:
+            report.exit_status = exc.status
+        report.instructions = self.instructions
+        report.cycles = self.cycles
+        report.branch_mispredicts = self.mispredicts
+        report.icache_misses = self.icache.stats.misses
+        report.dcache_misses = self.dcache.stats.misses
+        return report

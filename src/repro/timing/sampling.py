@@ -1,0 +1,93 @@
+"""Sampling simulation: detailed windows + fast-forward (paper §I/§II-C).
+
+"Timing simulators which support sampling perform detailed simulation for
+only small portions of the total simulation run and fast-forward through
+the rest ... During fast-forwarding, the timing simulator needs very
+little information from and exerts little control on the functional
+simulator."
+
+Two synthesized interfaces over ONE architectural state: a Step-detail
+interface drives the detailed windows, and a Block/Min interface performs
+the fast-forwarding.  This is the multi-interface use case that motivates
+the single-specification principle — both simulators come from the same
+description, so no functionality was written twice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.arch.faults import ExitProgram
+from repro.synth.synthesizer import GeneratedSimulator
+from repro.timing.timing_directed import TimingDirectedSimulator
+
+
+@dataclass
+class SamplingReport:
+    instructions: int
+    detailed_instructions: int
+    fastforward_instructions: int
+    sampled_cycles: int
+    elapsed: float
+    exit_status: int | None
+
+    @property
+    def estimated_cpi(self) -> float:
+        if not self.detailed_instructions:
+            return 0.0
+        return self.sampled_cycles / self.detailed_instructions
+
+
+class SamplingSimulator:
+    """Alternates detailed (Step) and fast-forward (Block/Min) execution."""
+
+    def __init__(
+        self,
+        step_generated: GeneratedSimulator,
+        block_generated: GeneratedSimulator,
+        syscall_handler=None,
+        detail_window: int = 200,
+        fastforward_window: int = 1800,
+    ) -> None:
+        state = step_generated.spec.make_state()
+        self.detailed = TimingDirectedSimulator(
+            step_generated, syscall_handler=syscall_handler, state=state
+        )
+        self.fast = block_generated.make(
+            state=state, syscall_handler=syscall_handler
+        )
+        self.detail_window = detail_window
+        self.fastforward_window = fastforward_window
+
+    @property
+    def state(self):
+        return self.fast.state
+
+    def run(self, max_instructions: int) -> SamplingReport:
+        detailed_count = 0
+        fast_count = 0
+        status = None
+        cycles_before = self.detailed.cycles
+        start = time.perf_counter()
+        try:
+            while detailed_count + fast_count < max_instructions:
+                for _ in range(self.detail_window):
+                    self.detailed.step_instruction()
+                    detailed_count += 1
+                result = self.fast.run(self.fastforward_window)
+                fast_count += result.executed
+                if result.exited:
+                    status = result.exit_status
+                    break
+        except ExitProgram as exc:
+            status = exc.status
+        elapsed = time.perf_counter() - start
+        return SamplingReport(
+            instructions=detailed_count + fast_count,
+            detailed_instructions=detailed_count,
+            fastforward_instructions=fast_count,
+            sampled_cycles=self.detailed.cycles - cycles_before,
+            elapsed=elapsed,
+            exit_status=status,
+        )

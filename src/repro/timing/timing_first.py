@@ -1,0 +1,117 @@
+"""Timing-first organization (paper §II-D).
+
+"The timing simulator performs functional behaviour which is then checked
+by the functional simulator; when there is a mismatch, the timing
+simulator's pipeline is flushed and its architectural state is reloaded
+from the functional simulator."
+
+The timing side here is an integrated model (it executes instructions
+itself); the checker is a One/Min functional simulator running one
+instruction behind.  A fault-injection hook lets tests demonstrate the
+organization's selling point: timing-model functional bugs surface as
+counted, recoverable mismatches rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+from repro.arch.faults import ExitProgram
+from repro.synth.synthesizer import GeneratedSimulator
+from repro.timing.classify import BRANCH, LOAD, MUL, STORE, InstructionClassifier
+from repro.timing.pipeline import TimingReport, default_caches
+from repro.timing.branch import BimodalPredictor
+
+
+class TimingFirstSimulator:
+    """Integrated timing model checked by a decoupled functional model."""
+
+    def __init__(
+        self,
+        timing_generated: GeneratedSimulator,
+        checker_generated: GeneratedSimulator,
+        syscall_handler_factory,
+        inject_bug_every: int | None = None,
+    ) -> None:
+        # Two independent simulators with independent OS emulators: the
+        # paper's organization keeps completely separate state and
+        # resynchronizes on mismatch.
+        self.timing_sim = timing_generated.make(
+            syscall_handler=syscall_handler_factory()
+        )
+        self.checker_sim = checker_generated.make(
+            syscall_handler=syscall_handler_factory()
+        )
+        self.classifier = InstructionClassifier(timing_generated.spec)
+        self.icache, self.dcache = default_caches()
+        self.predictor = BimodalPredictor()
+        self.inject_bug_every = inject_bug_every
+        self.cycles = 0
+        self.instructions = 0
+        self.mismatches = 0
+        self.mispredicts = 0
+
+    @property
+    def state(self):
+        return self.timing_sim.state
+
+    def load(self, loader) -> None:
+        """Apply a loader callable to both simulators' states."""
+        loader(self.timing_sim.state)
+        loader(self.checker_sim.state)
+
+    def _account(self, di) -> None:
+        kind = self.classifier.kind(di.instr_bits)
+        cycles = self.icache.access(di.pc)
+        if kind in (LOAD, STORE):
+            cycles += self.dcache.access(di.effective_addr, kind == STORE)
+        elif kind == MUL:
+            cycles += 3
+        if kind == BRANCH and not self.predictor.update(
+            di.pc, bool(di.branch_taken)
+        ):
+            cycles += 6
+            self.mispredicts += 1
+        self.cycles += cycles
+
+    def step_instruction(self) -> None:
+        timing = self.timing_sim
+        checker = self.checker_sim
+        timing.do_in_one(timing.di)
+        self._account(timing.di)
+        self.instructions += 1
+        if (
+            self.inject_bug_every
+            and self.instructions % self.inject_bug_every == 0
+        ):
+            # Deliberate timing-model functional bug (paper: "bugs can be
+            # tolerated"): corrupt a register before the check runs.
+            regfile = next(iter(timing.state.rf.values()))
+            regfile[5] ^= 0x1000
+        # The checker executes the same instruction on its own state...
+        checker.do_in_one(checker.di)
+        # ...and the timing model's architectural state is validated
+        # against it ("the timing model directly queries architectural
+        # state in the functional model").
+        if (
+            timing.state.pc != checker.state.pc
+            or timing.state.rf != checker.state.rf
+            or timing.state.sr != checker.state.sr
+        ):
+            self.mismatches += 1
+            # Pipeline flush + state reload from the functional model.
+            timing.state.copy_architectural_state_from(checker.state)
+            self.cycles += 10  # flush penalty
+
+    def run(self, max_instructions: int) -> TimingReport:
+        report = TimingReport("timing-first")
+        try:
+            while self.instructions < max_instructions:
+                self.step_instruction()
+        except ExitProgram as exc:
+            report.exit_status = exc.status
+        report.instructions = self.instructions
+        report.cycles = self.cycles
+        report.mismatches = self.mismatches
+        report.branch_mispredicts = self.mispredicts
+        report.icache_misses = self.icache.stats.misses
+        report.dcache_misses = self.dcache.stats.misses
+        return report

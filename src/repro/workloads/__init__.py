@@ -1,0 +1,17 @@
+"""Portable benchmark kernels and per-ISA lowering."""
+
+from repro.workloads.builder import Kernel, available_isas, wordsize
+from repro.workloads.kernels import SUITE, KernelSpec
+from repro.workloads.suite import KernelRun, assemble_kernel, kernel_names, run_kernel
+
+__all__ = [
+    "Kernel",
+    "KernelRun",
+    "KernelSpec",
+    "SUITE",
+    "assemble_kernel",
+    "available_isas",
+    "kernel_names",
+    "run_kernel",
+    "wordsize",
+]

@@ -1,0 +1,389 @@
+"""Per-ISA lowering of the portable kernel-builder operations.
+
+The paper's evaluation runs SPEC CPU2000int and MediaBench binaries; we
+have no compiler, so the benchmark suite is written once against a small
+portable macro-assembly API (:mod:`repro.workloads.builder`) and lowered
+to each ISA's real assembly here.  Every kernel therefore exercises each
+instruction set's own encodings, addressing modes and branch idioms.
+"""
+
+from __future__ import annotations
+
+
+class Lowering:
+    """Target interface: turns portable ops into assembly lines."""
+
+    name: str
+    wordsize: int
+    #: physical registers backing virtual registers v0, v1, ...
+    vregs: list[str]
+
+    def reg(self, vreg: int) -> str:
+        try:
+            return self.vregs[vreg]
+        except IndexError:
+            raise ValueError(
+                f"{self.name}: kernel uses more than {len(self.vregs)} registers"
+            ) from None
+
+    # Each method returns a list of assembly lines.
+    def prologue(self) -> list[str]:
+        return ["_start:"]
+
+    def li(self, rd: int, value) -> list[str]:
+        raise NotImplementedError
+
+    def la(self, rd: int, label: str) -> list[str]:
+        raise NotImplementedError
+
+    def mov(self, rd: int, rs: int) -> list[str]:
+        raise NotImplementedError
+
+    def alu(self, op: str, rd: int, ra: int, rb: int) -> list[str]:
+        raise NotImplementedError
+
+    def alui(self, op: str, rd: int, ra: int, imm: int) -> list[str]:
+        raise NotImplementedError
+
+    def shifti(self, op: str, rd: int, ra: int, imm: int) -> list[str]:
+        raise NotImplementedError
+
+    def load(self, rd: int, base: int, offset: int, size: str) -> list[str]:
+        raise NotImplementedError
+
+    def store(self, rs: int, base: int, offset: int, size: str) -> list[str]:
+        raise NotImplementedError
+
+    def branch(self, cond: str, ra: int, rb: int, label: str) -> list[str]:
+        raise NotImplementedError
+
+    def branchi(self, cond: str, ra: int, imm: int, label: str) -> list[str]:
+        raise NotImplementedError
+
+    def jump(self, label: str) -> list[str]:
+        raise NotImplementedError
+
+    def call(self, label: str) -> list[str]:
+        raise NotImplementedError
+
+    def ret(self) -> list[str]:
+        raise NotImplementedError
+
+    def exit(self, rs: int) -> list[str]:
+        raise NotImplementedError
+
+
+_INVERT = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt"}
+
+
+class AlphaLowering(Lowering):
+    """Alpha: compare-into-register then branch-on-register.
+
+    Kernels are defined with 32-bit wrap-around semantics so all ISAs
+    compute identical results; on 64-bit Alpha the lowering therefore
+    uses the sign-extending *L operate forms and keeps every virtual
+    register canonically sign-extended from 32 bits.
+    """
+
+    name = "alpha"
+    wordsize = 4
+    vregs = [f"${n}" for n in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)]
+    _scratch = "$22"
+
+    _ALU = {"add": "addl", "sub": "subl", "mul": "mull", "and": "and",
+            "or": "bis", "xor": "xor"}
+    _SIZES = {"b": ("ldbu", "stb"), "h": ("ldwu", "stw"), "l": ("ldl", "stl"),
+              "w": ("ldl", "stl")}
+    _CMP = {"eq": "cmpeq", "lt": "cmplt", "le": "cmple"}
+
+    def li(self, rd, value):
+        return [f"li {self.reg(rd)}, {value}"]
+
+    def la(self, rd, label):
+        return [f"li {self.reg(rd)}, {label}"]
+
+    def mov(self, rd, rs):
+        return [f"mov {self.reg(rs)}, {self.reg(rd)}"]
+
+    def alu(self, op, rd, ra, rb):
+        return [f"{self._ALU[op]} {self.reg(ra)}, {self.reg(rb)}, {self.reg(rd)}"]
+
+    def alui(self, op, rd, ra, imm):
+        if op in ("add", "sub") and 0 <= imm < 256:
+            return [f"{self._ALU[op]} {self.reg(ra)}, {imm}, {self.reg(rd)}"]
+        if op in ("add", "sub") and -32768 <= imm < 32768:
+            # lda is a 64-bit add; operands here are addresses/counters
+            # that stay far from the 32-bit boundary.
+            value = imm if op == "add" else -imm
+            return [f"lda {self.reg(rd)}, {value}({self.reg(ra)})"]
+        if op in ("and", "or", "xor") and 0 <= imm < 256:
+            return [f"{self._ALU[op]} {self.reg(ra)}, {imm}, {self.reg(rd)}"]
+        raise ValueError(f"alpha: cannot encode {op} imm {imm}")
+
+    def shifti(self, op, rd, ra, imm):
+        if op == "shl":
+            return [
+                f"sll {self.reg(ra)}, {imm}, {self.reg(rd)}",
+                f"addl {self.reg(rd)}, 0, {self.reg(rd)}",  # renormalize to 32
+            ]
+        if op == "shr":
+            return [
+                f"zapnot {self.reg(ra)}, 15, {self.reg(rd)}",  # zero-extend 32
+                f"srl {self.reg(rd)}, {imm}, {self.reg(rd)}",
+            ]
+        return [f"sra {self.reg(ra)}, {imm}, {self.reg(rd)}"]
+
+    def load(self, rd, base, offset, size):
+        ld, _ = self._SIZES[size]
+        return [f"{ld} {self.reg(rd)}, {offset}({self.reg(base)})"]
+
+    def store(self, rs, base, offset, size):
+        _, st = self._SIZES[size]
+        return [f"{st} {self.reg(rs)}, {offset}({self.reg(base)})"]
+
+    def _cmp_branch(self, cond, lhs, rhs, label):
+        scratch = self._scratch
+        if cond in self._CMP:
+            return [f"{self._CMP[cond]} {lhs}, {rhs}, {scratch}",
+                    f"bne {scratch}, {label}"]
+        if cond == "ne":
+            return [f"cmpeq {lhs}, {rhs}, {scratch}", f"beq {scratch}, {label}"]
+        if cond == "gt":  # a > b  <=>  not (a <= b)
+            return [f"cmple {lhs}, {rhs}, {scratch}", f"beq {scratch}, {label}"]
+        if cond == "ge":
+            return [f"cmplt {lhs}, {rhs}, {scratch}", f"beq {scratch}, {label}"]
+        raise ValueError(cond)
+
+    def branch(self, cond, ra, rb, label):
+        return self._cmp_branch(cond, self.reg(ra), self.reg(rb), label)
+
+    def branchi(self, cond, ra, imm, label):
+        if imm == 0:
+            direct = {"eq": "beq", "ne": "bne", "lt": "blt", "ge": "bge",
+                      "gt": "bgt", "le": "ble"}[cond]
+            return [f"{direct} {self.reg(ra)}, {label}"]
+        if 0 <= imm < 256:
+            return self._cmp_branch(cond, self.reg(ra), str(imm), label)
+        raise ValueError(f"alpha: branch immediate {imm} out of range")
+
+    def jump(self, label):
+        return [f"br $31, {label}"]
+
+    def call(self, label):
+        return [f"bsr $26, {label}"]
+
+    def ret(self):
+        return ["ret $31, ($26)"]
+
+    def exit(self, rs):
+        return [f"mov {self.reg(rs)}, $16", "li $0, 1", "call_pal 0x83"]
+
+
+class ArmLowering(Lowering):
+    """ARM: flag-setting compare then conditional branch."""
+
+    name = "arm"
+    wordsize = 4
+    vregs = [f"r{n}" for n in (4, 5, 6, 8, 9, 10, 11, 12, 3, 1, 2, 0)]
+
+    _ALU = {"add": "add", "sub": "sub", "mul": "mul", "and": "and",
+            "or": "orr", "xor": "eor"}
+    _LD = {"b": "ldrb", "w": "ldr", "h": "ldrh", "l": "ldr"}
+    _ST = {"b": "strb", "w": "str", "h": "strh", "l": "str"}
+    _BC = {"eq": "beq", "ne": "bne", "lt": "blt", "ge": "bge", "gt": "bgt",
+           "le": "ble"}
+
+    def li(self, rd, value):
+        return [f"li {self.reg(rd)}, {value}"]
+
+    def la(self, rd, label):
+        return [f"li {self.reg(rd)}, {label}"]
+
+    def mov(self, rd, rs):
+        return [f"mov {self.reg(rd)}, {self.reg(rs)}"]
+
+    def alu(self, op, rd, ra, rb):
+        if op == "mul" and rd == ra:
+            # MUL requires rd != rm on ARMv5; swap the commutative operands.
+            return [f"mul {self.reg(rd)}, {self.reg(rb)}, {self.reg(ra)}"]
+        return [f"{self._ALU[op]} {self.reg(rd)}, {self.reg(ra)}, {self.reg(rb)}"]
+
+    def alui(self, op, rd, ra, imm):
+        return [f"{self._ALU[op]} {self.reg(rd)}, {self.reg(ra)}, #{imm}"]
+
+    def shifti(self, op, rd, ra, imm):
+        mnemonic = {"shl": "lsl", "shr": "lsr", "sar": "asr"}[op]
+        return [f"mov {self.reg(rd)}, {self.reg(ra)}, {mnemonic} #{imm}"]
+
+    def load(self, rd, base, offset, size):
+        return [f"{self._LD[size]} {self.reg(rd)}, [{self.reg(base)}, #{offset}]"]
+
+    def store(self, rs, base, offset, size):
+        return [f"{self._ST[size]} {self.reg(rs)}, [{self.reg(base)}, #{offset}]"]
+
+    def branch(self, cond, ra, rb, label):
+        return [f"cmp {self.reg(ra)}, {self.reg(rb)}", f"{self._BC[cond]} {label}"]
+
+    def branchi(self, cond, ra, imm, label):
+        return [f"cmp {self.reg(ra)}, #{imm}", f"{self._BC[cond]} {label}"]
+
+    def jump(self, label):
+        return [f"b {label}"]
+
+    def call(self, label):
+        return [f"bl {label}"]
+
+    def ret(self):
+        return ["bx lr"]
+
+    def exit(self, rs):
+        return [f"mov r0, {self.reg(rs)}", "mov r7, #1", "swi #0"]
+
+
+class PpcLowering(Lowering):
+    """PowerPC: CR-based compares, CTR left to hand-written code."""
+
+    name = "ppc"
+    wordsize = 4
+    vregs = [f"{n}" for n in (14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25)]
+
+    _ALU = {"add": "add", "sub": "subf_swapped", "mul": "mullw", "and": "and",
+            "or": "or", "xor": "xor"}
+    _LD = {"b": "lbz", "w": "lwz", "h": "lhz", "l": "lwz"}
+    _ST = {"b": "stb", "w": "stw", "h": "sth", "l": "stw"}
+    _BC = {"eq": "beq", "ne": "bne", "lt": "blt", "ge": "bge", "gt": "bgt",
+           "le": "ble"}
+
+    def li(self, rd, value):
+        if -32768 <= value < 32768:
+            return [f"li {self.reg(rd)}, {value}"]
+        return [f"liw {self.reg(rd)}, {value}"]
+
+    def la(self, rd, label):
+        return [f"liw {self.reg(rd)}, {label}"]
+
+    def mov(self, rd, rs):
+        return [f"mr {self.reg(rd)}, {self.reg(rs)}"]
+
+    def alu(self, op, rd, ra, rb):
+        if op == "sub":
+            return [f"subf {self.reg(rd)}, {self.reg(rb)}, {self.reg(ra)}"]
+        if op in ("and", "or", "xor"):
+            return [f"{op} {self.reg(rd)}, {self.reg(ra)}, {self.reg(rb)}"]
+        mnemonic = {"add": "add", "mul": "mullw"}[op]
+        return [f"{mnemonic} {self.reg(rd)}, {self.reg(ra)}, {self.reg(rb)}"]
+
+    def alui(self, op, rd, ra, imm):
+        if op == "add":
+            return [f"addi {self.reg(rd)}, {self.reg(ra)}, {imm}"]
+        if op == "sub":
+            return [f"addi {self.reg(rd)}, {self.reg(ra)}, {-imm}"]
+        if op == "and":
+            return [f"andi. {self.reg(rd)}, {self.reg(ra)}, {imm}"]
+        if op == "or":
+            return [f"ori {self.reg(rd)}, {self.reg(ra)}, {imm}"]
+        if op == "xor":
+            return [f"xori {self.reg(rd)}, {self.reg(ra)}, {imm}"]
+        raise ValueError(f"ppc: {op} immediate")
+
+    def shifti(self, op, rd, ra, imm):
+        if op == "shl":
+            return [f"rlwinm {self.reg(rd)}, {self.reg(ra)}, {imm}, 0, {31 - imm}"]
+        if op == "shr":
+            return [f"rlwinm {self.reg(rd)}, {self.reg(ra)}, {(32 - imm) % 32}, {imm}, 31"]
+        return [f"srawi {self.reg(rd)}, {self.reg(ra)}, {imm}"]
+
+    def load(self, rd, base, offset, size):
+        return [f"{self._LD[size]} {self.reg(rd)}, {offset}({self.reg(base)})"]
+
+    def store(self, rs, base, offset, size):
+        return [f"{self._ST[size]} {self.reg(rs)}, {offset}({self.reg(base)})"]
+
+    def branch(self, cond, ra, rb, label):
+        return [f"cmpw {self.reg(ra)}, {self.reg(rb)}", f"{self._BC[cond]} {label}"]
+
+    def branchi(self, cond, ra, imm, label):
+        return [f"cmpwi {self.reg(ra)}, {imm}", f"{self._BC[cond]} {label}"]
+
+    def jump(self, label):
+        return [f"b {label}"]
+
+    def call(self, label):
+        return [f"bl {label}"]
+
+    def ret(self):
+        return ["blr"]
+
+    def exit(self, rs):
+        return [f"mr 3, {self.reg(rs)}", "li 0, 1", "sc"]
+
+
+class SparcLowering(Lowering):
+    """SPARC: condition codes via subcc/cmp, branches on icc."""
+
+    name = "sparc"
+    wordsize = 4
+    vregs = ["%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+             "%i0", "%i1", "%i2", "%i3"]
+
+    _ALU = {"add": "add", "sub": "sub", "mul": "umul", "and": "and",
+            "or": "or", "xor": "xor"}
+    _LD = {"b": "ldub", "w": "ld", "h": "lduh", "l": "ld"}
+    _ST = {"b": "stb", "w": "st", "h": "sth", "l": "st"}
+    _BC = {"eq": "be", "ne": "bne", "lt": "bl", "ge": "bge", "gt": "bg",
+           "le": "ble"}
+
+    def li(self, rd, value):
+        if -4096 <= value < 4096:
+            return [f"mov {value}, {self.reg(rd)}"]
+        return [f"set {value & 0xFFFFFFFF}, {self.reg(rd)}"]
+
+    def la(self, rd, label):
+        return [f"set {label}, {self.reg(rd)}"]
+
+    def mov(self, rd, rs):
+        return [f"mov {self.reg(rs)}, {self.reg(rd)}"]
+
+    def alu(self, op, rd, ra, rb):
+        return [f"{self._ALU[op]} {self.reg(ra)}, {self.reg(rb)}, {self.reg(rd)}"]
+
+    def alui(self, op, rd, ra, imm):
+        if not -4096 <= imm < 4096:
+            raise ValueError(f"sparc: immediate {imm} out of simm13 range")
+        return [f"{self._ALU[op]} {self.reg(ra)}, {imm}, {self.reg(rd)}"]
+
+    def shifti(self, op, rd, ra, imm):
+        mnemonic = {"shl": "sll", "shr": "srl", "sar": "sra"}[op]
+        return [f"{mnemonic} {self.reg(ra)}, {imm}, {self.reg(rd)}"]
+
+    def load(self, rd, base, offset, size):
+        return [f"{self._LD[size]} [{self.reg(base)} + {offset}], {self.reg(rd)}"]
+
+    def store(self, rs, base, offset, size):
+        return [f"{self._ST[size]} {self.reg(rs)}, [{self.reg(base)} + {offset}]"]
+
+    def branch(self, cond, ra, rb, label):
+        return [f"cmp {self.reg(ra)}, {self.reg(rb)}", f"{self._BC[cond]} {label}"]
+
+    def branchi(self, cond, ra, imm, label):
+        return [f"cmp {self.reg(ra)}, {imm}", f"{self._BC[cond]} {label}"]
+
+    def jump(self, label):
+        return [f"ba {label}"]
+
+    def call(self, label):
+        return [f"call {label}"]
+
+    def ret(self):
+        return ["retl"]
+
+    def exit(self, rs):
+        return [f"mov {self.reg(rs)}, %o0", "mov 1, %g1", "ta 0"]
+
+
+LOWERINGS = {
+    "alpha": AlphaLowering(),
+    "arm": ArmLowering(),
+    "ppc": PpcLowering(),
+    "sparc": SparcLowering(),
+}

@@ -1,0 +1,269 @@
+"""Unit tests for semantic analysis (declarations -> IsaSpec)."""
+
+import ast
+
+import pytest
+
+from repro.adl import load_isa_source
+from repro.adl.errors import AnalysisError
+
+MINIMAL = """
+isa mini;
+endian little;
+ilen 4;
+regfile R 4 u64;
+field v u64;
+format f { opcode[31:26]; ra[25:21]; }
+accessor R(n) {
+  decode %{ index = n %}
+  read %{ value = R[index] %}
+  write %{ R[index] = value %}
+}
+operandname s1 source (decode, read_s1) = v;
+actions translate, fetch, decode, read_s1, evaluate;
+action *@translate = %{ phys_pc = pc %}
+action *@fetch = %{ instr_bits = __fetch(phys_pc) %}
+class alu;
+operand alu s1 R(ra);
+instruction NOP format f : alu { match opcode == 0x00; }
+action NOP@evaluate = %{ pass %}
+buildset bs {
+  entrypoint go = translate, fetch, decode, read_s1, evaluate;
+}
+"""
+
+
+def analyze_src(extra="", base=MINIMAL):
+    return load_isa_source(base + extra)
+
+
+class TestBasics:
+    def test_minimal_analyzes(self):
+        spec = analyze_src()
+        assert spec.name == "mini"
+        assert spec.ilen == 4
+        assert "R" in spec.regfiles
+        assert spec.instructions[0].name == "NOP"
+
+    def test_builtin_fields_present(self):
+        spec = analyze_src()
+        for name in ("pc", "phys_pc", "instr_bits", "next_pc", "fault"):
+            assert name in spec.fields
+            assert spec.fields[name].builtin
+
+    def test_operand_id_field_autodeclared(self):
+        spec = analyze_src()
+        assert "s1_id" in spec.fields
+        assert spec.fields["s1_id"].slot == "s1"
+        assert spec.fields["v"].slot == "s1"
+
+    def test_instruction_mask_value(self):
+        spec = analyze_src()
+        instr = spec.instructions[0]
+        assert instr.mask == 0x3F << 26
+        assert instr.value == 0
+
+    def test_decode(self):
+        spec = analyze_src()
+        assert spec.decode(0x0000_0000) == 0
+        assert spec.decode(0xFFFF_FFFF) is None
+
+    def test_operand_code_instantiated(self):
+        spec = analyze_src()
+        instr = spec.instructions[0]
+        decode_src = "\n".join(ast.unparse(s) for s in instr.action_code["decode"])
+        read_src = "\n".join(ast.unparse(s) for s in instr.action_code["read_s1"])
+        assert "s1_id = ra" in decode_src
+        assert "v = R[s1_id]" in read_src
+
+    def test_wildcard_actions_attached(self):
+        spec = analyze_src()
+        instr = spec.instructions[0]
+        assert "translate" in instr.action_code
+        assert "fetch" in instr.action_code
+
+    def test_make_state(self):
+        spec = analyze_src()
+        state = spec.make_state()
+        assert state.rf["R"] == [0, 0, 0, 0]
+
+
+class TestErrors:
+    def test_missing_actions_order(self):
+        with pytest.raises(AnalysisError, match="actions"):
+            load_isa_source("isa x;")
+
+    def test_duplicate_field(self):
+        with pytest.raises(AnalysisError, match="duplicate field"):
+            analyze_src("field v u64;")
+
+    def test_field_shadows_builtin(self):
+        with pytest.raises(AnalysisError, match="builtin"):
+            analyze_src("field pc u64;")
+
+    def test_unknown_field_type(self):
+        with pytest.raises(AnalysisError, match="unknown type"):
+            analyze_src("field w f32;")
+
+    def test_bitfield_exceeds_word(self):
+        with pytest.raises(AnalysisError, match="exceeds"):
+            analyze_src("format g { x[32:0]; }")
+
+    def test_bitfield_collides_with_field(self):
+        with pytest.raises(AnalysisError, match="collides"):
+            analyze_src("format g { v[3:0]; }")
+
+    def test_unknown_accessor(self):
+        with pytest.raises(AnalysisError, match="unknown accessor"):
+            analyze_src("operand alu s1 Q(ra);")
+
+    def test_wrong_accessor_arity(self):
+        with pytest.raises(AnalysisError, match="argument"):
+            analyze_src("operand alu s1 R(ra, ra);")
+
+    def test_unknown_operand_target(self):
+        with pytest.raises(AnalysisError, match="not a class or instruction"):
+            analyze_src("operand nosuch s1 R(ra);")
+
+    def test_action_unknown_name(self):
+        with pytest.raises(AnalysisError, match="not in the 'actions' order"):
+            analyze_src("action NOP@no_such_step = %{ pass %}")
+
+    def test_instruction_unknown_format(self):
+        with pytest.raises(AnalysisError, match="unknown format"):
+            analyze_src("instruction X format nosuch { match opcode == 1; }")
+
+    def test_instruction_unknown_class(self):
+        with pytest.raises(AnalysisError, match="unknown class"):
+            analyze_src("instruction X format f : nosuch { match opcode == 1; }")
+
+    def test_match_unknown_bitfield(self):
+        with pytest.raises(AnalysisError, match="not in format"):
+            analyze_src("instruction X format f { match nosuch == 1; }")
+
+    def test_match_value_too_wide(self):
+        with pytest.raises(AnalysisError, match="does not fit"):
+            analyze_src("instruction X format f { match opcode == 0x100; }")
+
+    def test_no_match_terms(self):
+        with pytest.raises(AnalysisError, match="no match"):
+            analyze_src("instruction X format f { }")
+
+    def test_identical_decode_patterns(self):
+        with pytest.raises(AnalysisError, match="identical decode"):
+            analyze_src("instruction X format f { match opcode == 0; }")
+
+    def test_unknown_name_in_snippet(self):
+        with pytest.raises(AnalysisError, match="unknown name"):
+            analyze_src(
+                "instruction Y format f { match opcode == 1; }\n"
+                "action Y@evaluate = %{ v = bogus_name + 1 %}"
+            )
+
+    def test_unknown_function_in_snippet(self):
+        with pytest.raises(AnalysisError, match="unknown function"):
+            analyze_src(
+                "instruction Y format f { match opcode == 1; }\n"
+                "action Y@evaluate = %{ v = bogus_fn(pc) %}"
+            )
+
+    def test_visibility_unknown_field(self):
+        with pytest.raises(AnalysisError, match="unknown field"):
+            analyze_src("buildset b2 { visibility hide zz; entrypoint go = fetch; }")
+
+    def test_entrypoint_unknown_action(self):
+        with pytest.raises(AnalysisError, match="unknown action"):
+            analyze_src("buildset b2 { entrypoint go = zz; }")
+
+    def test_buildset_without_entrypoints(self):
+        with pytest.raises(AnalysisError, match="no entrypoints"):
+            analyze_src("buildset b2 { speculation off; }")
+
+    def test_block_entrypoint_must_be_alone(self):
+        with pytest.raises(AnalysisError, match="only"):
+            analyze_src(
+                "buildset b2 { entrypoint block go = fetch; entrypoint x = decode; }"
+            )
+
+
+class TestOverrides:
+    def test_later_action_overrides_earlier(self):
+        spec = analyze_src("action NOP@evaluate = %{ v = 1 %}")
+        instr = spec.instructions[0]
+        assert "v = 1" in ast.unparse(instr.action_code["evaluate"][0])
+
+    def test_instruction_action_beats_class_action(self):
+        spec = analyze_src(
+            "action alu@evaluate = %{ v = 2 %}\n"
+            "instruction W format f : alu { match opcode == 3; }\n"
+            "action W@evaluate = %{ v = 3 %}"
+        )
+        w = spec.instruction("W")
+        assert "v = 3" in ast.unparse(w.action_code["evaluate"][0])
+        # NOP keeps its own explicit action (overridden earlier in file
+        # order by nothing; instruction-specific beats class).
+        nop = spec.instruction("NOP")
+        assert "pass" in ast.unparse(nop.action_code["evaluate"][0])
+
+    def test_instruction_operand_overrides_class(self):
+        spec = analyze_src(
+            "instruction V format f : alu { match opcode == 4; }\n"
+            "operand V s1 R(opcode);"
+        )
+        v = spec.instruction("V")
+        decode_src = ast.unparse(v.action_code["decode"][0])
+        assert "s1_id = opcode" in decode_src
+
+
+class TestBuildsetResolution:
+    def test_visibility_default_show_all(self):
+        spec = analyze_src()
+        assert spec.buildsets["bs"].visible == frozenset(spec.fields)
+
+    def test_hide_all_keeps_minimum(self):
+        spec = analyze_src(
+            "buildset m { visibility hide all; entrypoint go = translate, fetch, decode, read_s1, evaluate; }"
+        )
+        visible = spec.buildsets["m"].visible
+        assert visible == {"pc", "phys_pc", "instr_bits", "next_pc", "fault"}
+
+    def test_hide_cannot_remove_minimum(self):
+        spec = analyze_src(
+            "buildset m { visibility hide pc; entrypoint go = fetch; }"
+        )
+        assert "pc" in spec.buildsets["m"].visible
+
+    def test_semantic_detail_classification(self, toy_spec):
+        assert toy_spec.buildsets["one_all"].semantic_detail == "one"
+        assert toy_spec.buildsets["step_all"].semantic_detail == "step"
+        assert toy_spec.buildsets["block_min"].semantic_detail == "block"
+
+    def test_group_expansion(self, toy_spec):
+        ep = toy_spec.buildsets["one_all"].entrypoints[0]
+        assert "read_src1" in ep.actions and "read_src2" in ep.actions
+        assert "read_operands" not in ep.actions
+
+
+class TestToyFixture:
+    def test_toy_full_analysis(self, toy_spec):
+        assert toy_spec.name == "toy"
+        assert len(toy_spec.instructions) == 16
+        assert set(toy_spec.buildsets) >= {
+            "one_all",
+            "one_min",
+            "one_all_spec",
+            "step_all",
+            "block_min",
+            "block_all",
+            "block_min_spec",
+        }
+
+    def test_toy_decode_add(self, toy_spec):
+        word = (0x01 << 26) | (1 << 21) | (2 << 16) | (3 << 11)
+        index = toy_spec.decode(word)
+        assert toy_spec.instructions[index].name == "ADD"
+
+    def test_toy_signed_bitfield(self, toy_spec):
+        bf = toy_spec.formats["iform"].bitfields["imm"]
+        assert bf.extract(0x0000FFFF) == -1
+        assert bf.extract(0x00007FFF) == 0x7FFF

@@ -1,0 +1,97 @@
+"""Unit tests for the ADL tokenizer."""
+
+import pytest
+
+from repro.adl.errors import LexError
+from repro.adl.lexer import TokKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punctuation(self):
+        tokens = tokenize("field effective_addr u64;")
+        assert [t.text for t in tokens[:-1]] == ["field", "effective_addr", "u64", ";"]
+        assert tokens[-1].kind is TokKind.EOF
+
+    def test_decimal_number(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokKind.NUMBER
+        assert token.value == 42
+
+    def test_hex_number(self):
+        assert tokenize("0x2A")[0].value == 42
+
+    def test_binary_number(self):
+        assert tokenize("0b101")[0].value == 5
+
+    def test_hex_without_digits_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x;")
+
+    def test_double_equals_is_one_token(self):
+        assert texts("opcode == 0x10") == ["opcode", "==", "0x10"]
+
+    def test_assignment_vs_equality(self):
+        assert texts("a = b == c") == ["a", "=", "b", "==", "c"]
+
+    def test_string_literal(self):
+        token = tokenize('include "common.lis";')[1]
+        assert token.kind is TokKind.STRING
+        assert token.text == "common.lis"
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('include "oops')
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("field $x;")
+
+
+class TestSnippets:
+    def test_snippet_capture(self):
+        token = tokenize("%{ x = a + b %}")[0]
+        assert token.kind is TokKind.SNIPPET
+        assert token.text.strip() == "x = a + b"
+
+    def test_nested_snippet_braces(self):
+        token = tokenize("%{ outer %{ inner %} tail %}")[0]
+        assert "inner" in token.text and "tail" in token.text
+
+    def test_multiline_snippet_preserves_newlines(self):
+        token = tokenize("%{\n  a = 1\n  b = 2\n%}")[0]
+        assert token.text == "\n  a = 1\n  b = 2\n"
+
+    def test_unterminated_snippet_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("%{ x = 1")
+
+
+class TestTrivia:
+    def test_line_comments_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        assert texts("a /* c1 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_locations_track_lines(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].loc.line == 1
+        assert tokens[1].loc.line == 2
+        assert tokens[1].loc.column == 3
+
+    def test_empty_source_is_just_eof(self):
+        tokens = tokenize("  \n\t ")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokKind.EOF

@@ -1,0 +1,214 @@
+"""Unit tests for the ADL parser."""
+
+import pytest
+
+from repro.adl import syntax as syn
+from repro.adl.errors import ParseError
+from repro.adl.parser import parse_files, parse_source
+
+
+def one(source):
+    decls = parse_source(source)
+    assert len(decls) == 1
+    return decls[0]
+
+
+class TestSimpleDecls:
+    def test_isa(self):
+        decl = one("isa alpha;")
+        assert isinstance(decl, syn.IsaDecl)
+        assert decl.name == "alpha"
+
+    def test_endian(self):
+        assert one("endian big;").value == "big"
+
+    def test_endian_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_source("endian middle;")
+
+    def test_ilen(self):
+        assert one("ilen 4;").value == 4
+
+    def test_regfile(self):
+        decl = one("regfile R 32 u64;")
+        assert (decl.name, decl.count, decl.type) == ("R", 32, "u64")
+
+    def test_sreg(self):
+        decl = one("sreg lr u32;")
+        assert (decl.name, decl.type) == ("lr", "u32")
+
+    def test_field(self):
+        decl = one("field effective_addr u64;")
+        assert (decl.name, decl.type) == ("effective_addr", "u64")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("isa alpha")
+
+    def test_unknown_declaration(self):
+        with pytest.raises(ParseError):
+            parse_source("frobnicate x;")
+
+
+class TestFormat:
+    def test_format_with_bitfields(self):
+        decl = one("format op { opcode[31:26]; disp[15:0] signed; }")
+        assert decl.name == "op"
+        assert decl.bitfields[0].name == "opcode"
+        assert (decl.bitfields[0].hi, decl.bitfields[0].lo) == (31, 26)
+        assert not decl.bitfields[0].signed
+        assert decl.bitfields[1].signed
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("format op { x[0:5]; }")
+
+
+class TestAccessor:
+    def test_full_accessor(self):
+        decl = one(
+            "accessor R(n) { decode %{ index = n %} read %{ value = R[index] %} "
+            "write %{ R[index] = value %} }"
+        )
+        assert decl.params == ("n",)
+        assert "index = n" in decl.decode
+        assert "R[index]" in decl.read
+
+    def test_accessor_without_params(self):
+        decl = one("accessor Z() { read %{ value = 0 %} }")
+        assert decl.params == ()
+        assert decl.decode is None
+
+    def test_duplicate_section_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("accessor R() { read %{ a = 1 %} read %{ a = 2 %} }")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("accessor R() { fetch %{ a = 1 %} }")
+
+
+class TestOperandConstructs:
+    def test_operandname(self):
+        decl = one("operandname src1 source (decode_instruction, read_src1) = src1_val;")
+        assert decl.name == "src1"
+        assert decl.direction == "source"
+        assert decl.decode_action == "decode_instruction"
+        assert decl.access_action == "read_src1"
+        assert decl.value_field == "src1_val"
+
+    def test_operandname_bad_direction(self):
+        with pytest.raises(ParseError):
+            parse_source("operandname src1 input (a, b) = v;")
+
+    def test_operand_attach(self):
+        decl = one("operand ralu src1 R(ra);")
+        assert (decl.target, decl.opname, decl.accessor) == ("ralu", "src1", "R")
+        assert decl.args == ("ra",)
+
+    def test_operand_attach_numeric_arg(self):
+        assert one("operand ralu src2 IMM(16);").args == (16,)
+
+    def test_operand_attach_no_args(self):
+        assert one("operand ralu src2 LIT();").args == ()
+
+
+class TestActionsAndInstructions:
+    def test_action(self):
+        decl = one("action load@compute_effective_addr = %{ ea = a + b %}")
+        assert decl.target == "load"
+        assert decl.action == "compute_effective_addr"
+        assert "ea = a + b" in decl.snippet
+
+    def test_wildcard_action(self):
+        assert one("action *@translate_pc = %{ phys_pc = pc %}").target == "*"
+
+    def test_actions_order(self):
+        decl = one("actions fetch, decode, execute;")
+        assert decl.names == ("fetch", "decode", "execute")
+
+    def test_instruction_full(self):
+        decl = one(
+            "instruction ADDQ format oper : intop, rcw { match opcode == 0x10, fn == 0x20; }"
+        )
+        assert decl.name == "ADDQ"
+        assert decl.format == "oper"
+        assert decl.classes == ("intop", "rcw")
+        assert [[(m.field, m.value) for m in alt] for alt in decl.matches] == [
+            [("opcode", 0x10), ("fn", 0x20)],
+        ]
+
+    def test_instruction_multiple_match_alternatives(self):
+        decl = one(
+            "instruction ADD format f { match op == 4, i == 1; match op == 4, i == 0; }"
+        )
+        assert len(decl.matches) == 2
+
+    def test_instruction_without_classes(self):
+        decl = one("instruction NOP format oper { match opcode == 0; }")
+        assert decl.classes == ()
+
+    def test_group(self):
+        decl = one("group read_operands = read_src1, read_src2;")
+        assert decl.actions == ("read_src1", "read_src2")
+
+    def test_predicate(self):
+        decl = one("predicate cond_ok after check_cond;")
+        assert (decl.field, decl.after_action) == ("cond_ok", "check_cond")
+
+    def test_helper(self):
+        decl = one("helper __check_cond = %{\ndef __check_cond(c, f):\n    return True\n%}")
+        assert decl.name == "__check_cond"
+        assert "def __check_cond" in decl.snippet
+
+
+class TestBuildset:
+    SOURCE = """
+    buildset one_all {
+      speculation on;
+      visibility hide all;
+      visibility show pc, fault;
+      entrypoint do_in_one = fetch, decode, execute;
+      entrypoint block do_block = fetch, decode, execute;
+    }
+    """
+
+    def test_buildset(self):
+        decl = one(self.SOURCE)
+        assert decl.name == "one_all"
+        spec_stmt, hide_stmt, show_stmt, ep1, ep2 = decl.statements
+        assert spec_stmt.enabled
+        assert hide_stmt.mode == "hide" and hide_stmt.names == ()
+        assert show_stmt.names == ("pc", "fault")
+        assert not ep1.block and ep1.actions == ("fetch", "decode", "execute")
+        assert ep2.block and ep2.name == "do_block"
+
+    def test_bad_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("buildset b { frobnicate; }")
+
+
+class TestIncludes:
+    def test_include_expansion(self, tmp_path):
+        (tmp_path / "inner.lis").write_text("field x u64;")
+        outer = tmp_path / "outer.lis"
+        outer.write_text('include "inner.lis";\nfield y u64;')
+        decls = parse_files([str(outer)])
+        assert [d.name for d in decls] == ["x", "y"]
+
+    def test_include_loop_is_harmless(self, tmp_path):
+        a = tmp_path / "a.lis"
+        b = tmp_path / "b.lis"
+        a.write_text('include "b.lis";\nfield xa u64;')
+        b.write_text('include "a.lis";\nfield xb u64;')
+        decls = parse_files([str(a)])
+        assert [d.name for d in decls] == ["xb", "xa"]
+
+
+class TestFixtureParses:
+    def test_toy_fixture_parses(self, toy_paths):
+        decls = parse_files(toy_paths)
+        names = [d.name for d in decls if isinstance(d, syn.InstructionDecl)]
+        assert "ADD" in names and "SYS" in names
+        buildsets = [d.name for d in decls if isinstance(d, syn.BuildsetDecl)]
+        assert "one_all" in buildsets and "block_min" in buildsets

@@ -1,0 +1,152 @@
+"""Unit tests for ArchState: snapshots, rollback journal, comparisons."""
+
+import pytest
+
+from repro.arch import ArchState, RegisterFileDef, SpecialRegisterDef
+from repro.arch.registers import width_of
+
+
+def make_state() -> ArchState:
+    return ArchState(
+        regfiles=[RegisterFileDef("R", 32, "u64")],
+        sregs=[SpecialRegisterDef("lr", "u32"), SpecialRegisterDef("flags", "u32")],
+    )
+
+
+class TestRegisterMetadata:
+    def test_width_of(self):
+        assert width_of("u8") == 8
+        assert width_of("u64") == 64
+
+    def test_width_of_unknown(self):
+        with pytest.raises(ValueError):
+            width_of("f32")
+
+    def test_regfile_mask_and_create(self):
+        rf = RegisterFileDef("R", 4, "u32")
+        assert rf.mask == 0xFFFFFFFF
+        assert rf.create() == [0, 0, 0, 0]
+
+    def test_sreg_mask(self):
+        assert SpecialRegisterDef("lr", "u16").mask == 0xFFFF
+
+
+class TestStateBasics:
+    def test_initial_state_zeroed(self):
+        st = make_state()
+        assert st.pc == 0
+        assert st.rf["R"] == [0] * 32
+        assert st.sr == {"lr": 0, "flags": 0}
+
+    def test_defs_accessible(self):
+        st = make_state()
+        assert st.regfile_def("R").count == 32
+        assert st.sreg_def("lr").width == 32
+
+    def test_snapshot_restore_roundtrip(self):
+        st = make_state()
+        st.pc = 0x1000
+        st.rf["R"][3] = 42
+        st.sr["lr"] = 7
+        st.mem.write_u64(0x2000, 99)
+        snap = st.snapshot()
+        st.pc = 0
+        st.rf["R"][3] = 0
+        st.sr["lr"] = 0
+        st.mem.write_u64(0x2000, 0)
+        st.restore(snap)
+        assert st.pc == 0x1000
+        assert st.rf["R"][3] == 42
+        assert st.sr["lr"] == 7
+        assert st.mem.read_u64(0x2000) == 99
+
+    def test_copy_architectural_state_from(self):
+        a, b = make_state(), make_state()
+        a.pc = 0x40
+        a.rf["R"][1] = 5
+        b.copy_architectural_state_from(a)
+        assert b.pc == 0x40
+        assert b.rf["R"][1] == 5
+
+
+class TestRollback:
+    def test_rollback_register_write(self):
+        st = make_state()
+        st.rf["R"][2] = 10
+        st.journal.append([("r", "R", 2, 10)])
+        st.rf["R"][2] = 20
+        assert st.rollback() == 1
+        assert st.rf["R"][2] == 10
+
+    def test_rollback_applies_records_newest_first(self):
+        st = make_state()
+        # One instruction that wrote R1 twice: undo must land on the oldest value.
+        st.journal.append([("r", "R", 1, 0), ("r", "R", 1, 5)])
+        st.rf["R"][1] = 9
+        st.rollback()
+        assert st.rf["R"][1] == 0
+
+    def test_rollback_memory_and_sreg_and_pc(self):
+        st = make_state()
+        st.mem.write_u32(0x100, 1)
+        st.journal.append([("m", 0x100, 4, 1), ("s", "lr", 3), ("p", 0x500)])
+        st.mem.write_u32(0x100, 2)
+        st.sr["lr"] = 4
+        st.pc = 0x504
+        st.rollback()
+        assert st.mem.read_u32(0x100) == 1
+        assert st.sr["lr"] == 3
+        assert st.pc == 0x500
+
+    def test_rollback_multiple_instructions(self):
+        st = make_state()
+        for i in range(5):
+            st.journal.append([("r", "R", 0, i)])
+            st.rf["R"][0] = i + 1
+        assert st.rollback(3) == 3
+        assert st.rf["R"][0] == 2
+        assert len(st.journal) == 2
+
+    def test_rollback_bounded_by_journal_depth(self):
+        st = make_state()
+        st.journal.append([("r", "R", 0, 1)])
+        assert st.rollback(10) == 1
+        assert st.journal == []
+
+    def test_commit_discards_oldest(self):
+        st = make_state()
+        st.journal.append([("r", "R", 0, 1)])
+        st.journal.append([("r", "R", 0, 2)])
+        assert st.commit(1) == 1
+        assert st.journal == [[("r", "R", 0, 2)]]
+
+    def test_unknown_record_kind_rejected(self):
+        st = make_state()
+        st.journal.append([("x", 1, 2)])
+        with pytest.raises(ValueError):
+            st.rollback()
+
+
+class TestComparison:
+    def test_same_state_true(self):
+        a, b = make_state(), make_state()
+        for st in (a, b):
+            st.pc = 4
+            st.rf["R"][0] = 1
+            st.mem.write_u8(0x10, 9)
+        assert a.same_architectural_state(b)
+
+    def test_differs_on_register(self):
+        a, b = make_state(), make_state()
+        a.rf["R"][5] = 1
+        assert not a.same_architectural_state(b)
+
+    def test_differs_on_memory(self):
+        a, b = make_state(), make_state()
+        a.mem.write_u8(0, 1)
+        assert not a.same_architectural_state(b)
+
+    def test_zero_page_allocation_does_not_differ(self):
+        a, b = make_state(), make_state()
+        a.mem.write_u8(0, 0)  # allocates an all-zero page
+        assert a.same_architectural_state(b)

@@ -1,0 +1,23 @@
+"""Shared fixtures: the toy ISA specification used across test packages."""
+
+import os
+
+import pytest
+
+from repro.adl import load_isa
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+TOY_LIS = os.path.join(FIXTURES, "toy.lis")
+TOY_BUILDSETS_LIS = os.path.join(FIXTURES, "toy_buildsets.lis")
+
+
+@pytest.fixture(scope="session")
+def toy_spec():
+    """Analyzed toy ISA including its buildsets."""
+    return load_isa([TOY_LIS, TOY_BUILDSETS_LIS])
+
+
+@pytest.fixture()
+def toy_paths():
+    return [TOY_LIS, TOY_BUILDSETS_LIS]

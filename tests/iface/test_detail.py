@@ -1,0 +1,75 @@
+"""Tests for the interface-detail taxonomy (paper §II)."""
+
+import pytest
+
+from repro.iface import (
+    ORGANIZATIONS,
+    InformationalDetail,
+    SemanticDetail,
+    check_adequate,
+)
+from repro.isa.base import get_bundle
+
+
+@pytest.fixture(scope="module")
+def alpha_spec():
+    return get_bundle("alpha").load_spec()
+
+
+class TestClassification:
+    def test_semantic_detail(self, alpha_spec):
+        assert SemanticDetail.of(alpha_spec.buildsets["block_min"]) is SemanticDetail.BLOCK
+        assert SemanticDetail.of(alpha_spec.buildsets["one_all"]) is SemanticDetail.ONE
+        assert SemanticDetail.of(alpha_spec.buildsets["step_all"]) is SemanticDetail.STEP
+
+    def test_informational_detail(self, alpha_spec):
+        classify = lambda name: InformationalDetail.of(
+            alpha_spec.buildsets[name], alpha_spec
+        )
+        assert classify("one_min") is InformationalDetail.MIN
+        assert classify("one_decode") is InformationalDetail.DECODE
+        assert classify("one_all") is InformationalDetail.ALL
+
+
+class TestAdequacy:
+    def test_functional_first_needs_decode_info(self, alpha_spec):
+        assert not check_adequate(
+            alpha_spec, alpha_spec.buildsets["block_decode"], "functional-first"
+        )
+        problems = check_adequate(
+            alpha_spec, alpha_spec.buildsets["block_min"], "functional-first"
+        )
+        assert any("information" in p for p in problems)
+
+    def test_timing_directed_needs_step(self, alpha_spec):
+        assert not check_adequate(
+            alpha_spec, alpha_spec.buildsets["step_all"], "timing-directed"
+        )
+        problems = check_adequate(
+            alpha_spec, alpha_spec.buildsets["one_all"], "timing-directed"
+        )
+        assert any("semantic" in p for p in problems)
+
+    def test_speculative_ff_needs_rollback(self, alpha_spec):
+        problems = check_adequate(
+            alpha_spec,
+            alpha_spec.buildsets["one_decode"],
+            "speculative-functional-first",
+        )
+        assert any("speculation" in p for p in problems)
+        assert not check_adequate(
+            alpha_spec,
+            alpha_spec.buildsets["one_decode_spec"],
+            "speculative-functional-first",
+        )
+
+    def test_over_detailed_is_fine(self, alpha_spec):
+        # the paper allows over-detailed interfaces; they are just slower
+        assert not check_adequate(
+            alpha_spec, alpha_spec.buildsets["one_all"], "timing-first"
+        )
+
+    def test_every_organization_documented(self):
+        for name, req in ORGANIZATIONS.items():
+            assert req.notes
+            assert req.semantic

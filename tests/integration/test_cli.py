@@ -1,0 +1,67 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+_start:
+        li $16, 1
+        li $17, msg
+        li $18, 3
+        li $0, 4
+        call_pal 0x83
+        li $16, 7
+        li $0, 1
+        call_pal 0x83
+msg:    .asciz "cli"
+"""
+
+
+@pytest.fixture()
+def hello_program(tmp_path):
+    path = tmp_path / "hello.s"
+    path.write_text(HELLO)
+    return str(path)
+
+
+class TestCli:
+    def test_isas(self, capsys):
+        assert main(["isas"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "arm" in out and "ppc" in out
+
+    def test_interfaces(self, capsys):
+        assert main(["interfaces", "ppc"]) == 0
+        out = capsys.readouterr().out
+        assert "block_min" in out and "step_all" in out
+
+    def test_run_returns_exit_status(self, hello_program, capsys):
+        status = main(["run", "alpha", hello_program])
+        out = capsys.readouterr().out
+        assert status == 7
+        assert "cli" in out
+        assert "executed" in out
+
+    def test_run_alternate_buildset(self, hello_program, capsys):
+        status = main(["run", "alpha", hello_program, "--buildset", "block_min"])
+        assert status == 7
+
+    def test_run_budget_exhausted(self, hello_program, capsys):
+        status = main(["run", "alpha", hello_program, "--max", "2"])
+        assert status == 2
+        assert "budget exhausted" in capsys.readouterr().out
+
+    def test_disasm(self, hello_program, capsys):
+        assert main(["disasm", "alpha", hello_program]) == 0
+        out = capsys.readouterr().out
+        assert "CALL_PAL" in out
+        assert "LDAH" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["interfaces", "mips"])

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs to completion and asserts its
+own claims (the scripts contain their own ``assert`` statements)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+ALL = [
+    "quickstart.py",
+    "tailor_an_interface.py",
+    "sampling_simulator.py",
+    "timing_first_checker.py",
+    "speculative_runahead.py",
+]
+
+
+@pytest.mark.parametrize("script", ALL)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they show"
+
+
+def test_quickstart_shows_generated_code():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "5050" in result.stdout
+    assert "def _b_0" in result.stdout

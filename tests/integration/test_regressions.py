@@ -1,0 +1,124 @@
+"""Regression tests for bugs found during development.
+
+Each test pins a specific failure mode so it cannot silently return.
+"""
+
+import pytest
+
+from repro.isa.base import get_bundle
+from repro.synth import synthesize
+from repro.sysemu import OSEmulator, load_image
+
+
+def run_block(isa: str, source: str):
+    bundle = get_bundle(isa)
+    generated = synthesize(bundle.load_spec(), "block_min")
+    os_emu = OSEmulator(bundle.abi)
+    sim = generated.make(syscall_handler=os_emu)
+    image = bundle.make_assembler().assemble(source, origin=0x1000)
+    load_image(sim.state, image, bundle.abi)
+    return sim, sim.run(100_000)
+
+
+class TestConstantFoldedArchWrites:
+    """A constant-folded special-register write must not be eliminated.
+
+    The block translator once promoted ``lr = pc + 4`` to a constant and
+    dead-code-eliminated the assignment, losing the architectural link
+    write; calls through LR then returned to garbage.
+    """
+
+    def test_ppc_bl_blr_under_block_translation(self):
+        sim, result = run_block(
+            "ppc",
+            """
+            _start:
+                li 3, 20
+                bl double
+                bl double
+                li 0, 1
+                sc
+            double:
+                add 3, 3, 3
+                blr
+            """,
+        )
+        assert result.exited
+        assert result.exit_status == 80
+
+    def test_arm_bl_sets_lr_under_block_translation(self):
+        sim, result = run_block(
+            "arm",
+            """
+            _start:
+                mov r0, #10
+                bl triple
+                mov r7, #1
+                swi #0
+            triple:
+                add r0, r0, r0, lsl #1
+                bx lr
+            """,
+        )
+        assert result.exited
+        assert result.exit_status == 30
+
+
+class TestStepSpeculationJournal:
+    """Step-detail speculation once skipped journal creation for
+    instructions with no register/memory writes (ARM CMP writes flags
+    only), crashing with an undefined journal name."""
+
+    def test_arm_flag_only_instructions_journal(self):
+        bundle = get_bundle("arm")
+        generated = synthesize(bundle.load_spec(), "step_all_spec")
+        os_emu = OSEmulator(bundle.abi)
+        sim = generated.make(syscall_handler=os_emu)
+        image = bundle.make_assembler().assemble(
+            """
+            _start:
+                mov r1, #3
+                cmp r1, #3
+                moveq r0, #1
+                mov r7, #1
+                swi #0
+            """,
+            origin=0x1000,
+        )
+        load_image(sim.state, image, bundle.abi)
+        result = sim.run(100)
+        assert result.exited
+        assert result.exit_status == 1
+        # one journal record per instruction (the exiting SWI never commits)
+        assert len(sim.state.journal) == result.executed - 1
+
+    def test_rollback_restores_flags(self):
+        bundle = get_bundle("arm")
+        generated = synthesize(bundle.load_spec(), "step_all_spec")
+        sim = generated.make()
+        image = bundle.make_assembler().assemble("cmp r1, #0", origin=0x1000)
+        load_image(sim.state, image, bundle.abi)
+        sim.state.sr["cpsr_z"] = 0
+        for name in generated.entry_names:
+            getattr(sim, name)(sim.di)
+        assert sim.state.sr["cpsr_z"] == 1
+        sim.rollback(1)
+        assert sim.state.sr["cpsr_z"] == 0
+
+
+class TestAlphaR31Invariant:
+    """R31 must stay zero through every interface, including rollback."""
+
+    @pytest.mark.parametrize("buildset", ["one_all_spec", "block_min"])
+    def test_r31_never_written(self, buildset):
+        bundle = get_bundle("alpha")
+        generated = synthesize(bundle.load_spec(), buildset)
+        sim = generated.make()
+        image = bundle.make_assembler().assemble(
+            "addq $1, $2, $31\nbeq $31, .+4\n", origin=0x1000
+        )
+        load_image(sim.state, image, bundle.abi)
+        sim.state.rf["R"][1] = 7
+        sim.state.rf["R"][2] = 8
+        sim.run(2)
+        assert sim.state.rf["R"][31] == 0

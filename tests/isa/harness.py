@@ -1,0 +1,48 @@
+"""Helpers for per-ISA semantic tests."""
+
+from repro.isa.base import get_bundle
+from repro.synth import synthesize
+from repro.sysemu.loader import load_image
+from repro.sysemu.syscalls import OSEmulator
+
+_GENERATED = {}
+
+
+def simulator(isa: str, buildset: str = "one_all"):
+    """A fresh simulator + OS emulator for one ISA (generator cached)."""
+    key = (isa, buildset)
+    if key not in _GENERATED:
+        bundle = get_bundle(isa)
+        _GENERATED[key] = (bundle, synthesize(bundle.load_spec(), buildset))
+    bundle, generated = _GENERATED[key]
+    os_emu = OSEmulator(bundle.abi)
+    sim = generated.make(syscall_handler=os_emu)
+    return sim, os_emu
+
+
+def run_asm(isa: str, source: str, buildset: str = "one_all", max_instrs=200_000):
+    """Assemble, load and run a program; returns (sim, os_emu, result)."""
+    bundle = get_bundle(isa)
+    sim, os_emu = simulator(isa, buildset)
+    image = bundle.make_assembler().assemble(source, origin=0x1000)
+    load_image(sim.state, image, bundle.abi)
+    sim.image = image
+    result = sim.run(max_instrs)
+    return sim, os_emu, result
+
+
+def step_one(isa: str, setup, words_or_src):
+    """Execute a single assembled instruction after ``setup(state)``.
+
+    ``words_or_src`` is assembly source; only its first instruction runs.
+    Returns the simulator for inspection.
+    """
+    bundle = get_bundle(isa)
+    sim, _ = simulator(isa)
+    image = bundle.make_assembler().assemble(words_or_src, origin=0x1000)
+    load_image(sim.state, image, bundle.abi)
+    if setup is not None:
+        setup(sim.state)
+    sim.state.pc = 0x1000
+    sim.do_in_one(sim.di)
+    return sim

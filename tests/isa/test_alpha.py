@@ -1,0 +1,282 @@
+"""Golden semantics tests for the Alpha subset."""
+
+import pytest
+
+from repro.isa.base import get_bundle
+
+from tests.isa.harness import run_asm, step_one
+
+M64 = (1 << 64) - 1
+
+
+def regs(pairs):
+    def setup(state):
+        for reg, value in pairs.items():
+            state.rf["R"][reg] = value & M64
+
+    return setup
+
+
+def r(sim, index):
+    return sim.state.rf["R"][index]
+
+
+class TestOperates:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("addq", 5, 7, 12),
+            ("addq", M64, 1, 0),
+            ("subq", 5, 7, (5 - 7) & M64),
+            ("addl", 0x7FFFFFFF, 1, 0xFFFFFFFF80000000),
+            ("subl", 0, 1, M64),
+            ("s4addq", 3, 5, 17),
+            ("s8addq", 3, 5, 29),
+            ("mulq", 1 << 40, 1 << 30, (1 << 70) & M64),
+            ("mull", 0x10000, 0x10000, 0),
+            ("umulh", 1 << 63, 4, 2),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("bis", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("bic", 0b1111, 0b0101, 0b1010),
+            ("ornot", 0, 0, M64),
+            ("eqv", 5, 5, M64),
+            ("sll", 1, 63, 1 << 63),
+            ("srl", 1 << 63, 63, 1),
+            ("sra", 1 << 63, 63, M64),
+            ("cmpeq", 4, 4, 1),
+            ("cmpeq", 4, 5, 0),
+            ("cmplt", (-1) & M64, 0, 1),
+            ("cmplt", 0, (-1) & M64, 0),
+            ("cmple", 3, 3, 1),
+            ("cmpult", (-1) & M64, 0, 0),
+            ("cmpule", 1, 1, 1),
+        ],
+    )
+    def test_register_forms(self, op, a, b, expected):
+        sim = step_one("alpha", regs({1: a, 2: b}), f"{op} $1, $2, $3")
+        assert r(sim, 3) == expected
+
+    def test_literal_form(self):
+        sim = step_one("alpha", regs({1: 10}), "addq $1, 200, $3")
+        assert r(sim, 3) == 210
+
+    def test_literal_id_reported(self):
+        sim = step_one("alpha", regs({1: 10}), "addq $1, 200, $3")
+        assert sim.di.src2_id == 0x100 | 200
+
+    def test_r31_reads_zero(self):
+        sim = step_one("alpha", regs({1: 5}), "addq $1, $31, $3")
+        assert r(sim, 3) == 5
+
+    def test_r31_write_discarded(self):
+        sim = step_one("alpha", regs({1: 5, 2: 6}), "addq $1, $2, $31")
+        assert r(sim, 31) == 0
+
+    def test_cmpbge(self):
+        sim = step_one(
+            "alpha", regs({1: 0x0102030405060708, 2: 0x0800000000000001}),
+            "cmpbge $1, $2, $3",
+        )
+        # byte 0: 8 >= 1 yes; byte 7: 1 >= 8 no; middle bytes vs 0 yes
+        assert r(sim, 3) == 0b01111111
+
+    def test_zapnot(self):
+        sim = step_one(
+            "alpha", regs({1: 0x1122334455667788, 2: 0x0F}), "zapnot $1, $2, $3"
+        )
+        assert r(sim, 3) == 0x55667788
+
+    def test_zap(self):
+        sim = step_one(
+            "alpha", regs({1: 0x1122334455667788, 2: 0x0F}), "zap $1, $2, $3"
+        )
+        assert r(sim, 3) == 0x1122334400000000
+
+    def test_extbl(self):
+        sim = step_one(
+            "alpha", regs({1: 0x1122334455667788, 2: 2}), "extbl $1, $2, $3"
+        )
+        assert r(sim, 3) == 0x66
+
+    def test_cmov_taken_and_not(self):
+        sim = step_one("alpha", regs({1: 0, 2: 9, 3: 5}), "cmoveq $1, $2, $3")
+        assert r(sim, 3) == 9
+        sim = step_one("alpha", regs({1: 1, 2: 9, 3: 5}), "cmoveq $1, $2, $3")
+        assert r(sim, 3) == 5
+
+
+class TestMemory:
+    def test_lda_ldah(self):
+        sim = step_one("alpha", regs({2: 0x1000}), "lda $1, 8($2)")
+        assert r(sim, 1) == 0x1008
+        sim = step_one("alpha", regs({2: 4}), "ldah $1, 2($2)")
+        assert r(sim, 1) == 0x20004
+
+    def test_ldq_stq_roundtrip(self):
+        def setup(state):
+            state.rf["R"][2] = 0x4000
+            state.mem.write_u64(0x4010, 0xCAFEBABE12345678)
+
+        sim = step_one("alpha", setup, "ldq $1, 16($2)")
+        assert r(sim, 1) == 0xCAFEBABE12345678
+        assert sim.di.effective_addr == 0x4010
+
+    def test_ldl_sign_extends(self):
+        def setup(state):
+            state.rf["R"][2] = 0x4000
+            state.mem.write_u32(0x4000, 0x80000000)
+
+        sim = step_one("alpha", setup, "ldl $1, 0($2)")
+        assert r(sim, 1) == 0xFFFFFFFF80000000
+
+    def test_ldbu_ldwu(self):
+        def setup(state):
+            state.rf["R"][2] = 0x4000
+            state.mem.write_u16(0x4000, 0x80FF)
+
+        sim = step_one("alpha", setup, "ldbu $1, 0($2)")
+        assert r(sim, 1) == 0xFF
+        sim = step_one("alpha", setup, "ldwu $1, 0($2)")
+        assert r(sim, 1) == 0x80FF
+
+    def test_stq_u_aligns(self):
+        sim = step_one(
+            "alpha", regs({1: 0xAB, 2: 0x4003}), "stq_u $1, 0($2)"
+        )
+        assert sim.state.mem.read_u64(0x4000) == 0xAB
+
+    def test_negative_displacement(self):
+        def setup(state):
+            state.rf["R"][2] = 0x4010
+            state.mem.write_u64(0x4008, 77)
+
+        sim = step_one("alpha", setup, "ldq $1, -8($2)")
+        assert r(sim, 1) == 77
+
+
+class TestBranches:
+    def test_br_unconditional(self):
+        sim = step_one("alpha", None, "br $31, .+32")
+        assert sim.state.pc == 0x1000 + 4 + 28  # target = pc+4+disp*4
+
+    def test_bsr_links(self):
+        sim = step_one("alpha", None, "bsr $26, .+16")
+        assert r(sim, 26) == 0x1004
+
+    @pytest.mark.parametrize(
+        "op,value,taken",
+        [
+            ("beq", 0, True), ("beq", 1, False),
+            ("bne", 1, True), ("bne", 0, False),
+            ("blt", (-5) & M64, True), ("blt", 5, False),
+            ("bge", 0, True), ("bge", (-1) & M64, False),
+            ("bgt", 1, True), ("bgt", 0, False),
+            ("ble", 0, True), ("ble", 1, False),
+            ("blbs", 3, True), ("blbs", 2, False),
+            ("blbc", 2, True), ("blbc", 3, False),
+        ],
+    )
+    def test_conditional(self, op, value, taken):
+        sim = step_one("alpha", regs({1: value}), f"{op} $1, .+64")
+        expected = 0x1000 + 4 + 60 if taken else 0x1004
+        assert sim.state.pc == expected
+        assert sim.di.branch_taken == (1 if taken else 0)
+
+    def test_jmp(self):
+        sim = step_one("alpha", regs({27: 0x2002}), "jmp $26, ($27)")
+        assert sim.state.pc == 0x2000  # low bits cleared
+        assert r(sim, 26) == 0x1004
+
+
+class TestDecode:
+    def test_every_instruction_has_unique_decode(self):
+        spec = get_bundle("alpha").load_spec()
+        seen = set()
+        for instr in spec.instructions:
+            for mask, value in instr.patterns:
+                word = value  # the canonical encoding itself
+                index = spec.decode(word)
+                assert spec.instructions[index].name == instr.name, (
+                    f"{instr.name} decodes as {spec.instructions[index].name}"
+                )
+                seen.add(instr.name)
+        assert len(seen) == len(spec.instructions)
+
+    def test_assembled_words_decode_correctly(self):
+        bundle = get_bundle("alpha")
+        spec = bundle.load_spec()
+        asm = bundle.make_assembler()
+        cases = {
+            "addq $1, $2, $3": "ADDQ",
+            "addq $1, 99, $3": "ADDQ",
+            "ldq $1, 8($2)": "LDQ",
+            "stw $1, 2($2)": "STW",
+            "beq $3, .+8": "BEQ",
+            "jmp $26, ($27)": "JMP",
+            "call_pal 0x83": "CALL_PAL",
+            "mulq $4, $5, $6": "MULQ",
+        }
+        for source, expected in cases.items():
+            image = asm.assemble(source)
+            word = int.from_bytes(image.segments[0][1][:4], "little")
+            assert spec.instructions[spec.decode(word)].name == expected
+
+
+class TestPrograms:
+    def test_fibonacci(self):
+        sim, os_emu, result = run_asm(
+            "alpha",
+            """
+            _start:
+                li $1, 0          # fib(0)
+                li $2, 1          # fib(1)
+                li $3, 20         # count
+            loop:
+                addq $1, $2, $4
+                mov  $2, $1
+                mov  $4, $2
+                subq $3, 1, $3
+                bne  $3, loop
+                mov  $1, $16
+                li   $0, 1
+                call_pal 0x83
+            """,
+        )
+        assert result.exited
+        assert result.exit_status == 6765 & 0xFF
+
+    def test_write_syscall(self):
+        sim, os_emu, result = run_asm(
+            "alpha",
+            """
+            _start:
+                li $16, 1
+                li $17, text
+                li $18, 5
+                li $0, 4
+                call_pal 0x83
+                li $16, 0
+                li $0, 1
+                call_pal 0x83
+            text: .asciz "alpha"
+            """,
+        )
+        assert bytes(os_emu.stdout) == b"alpha"
+        assert result.exit_status == 0
+
+    def test_function_call_and_stack(self):
+        sim, os_emu, result = run_asm(
+            "alpha",
+            """
+            _start:
+                li   $16, 21
+                bsr  $26, double
+                li   $0, 1
+                call_pal 0x83
+            double:
+                addq $16, $16, $16
+                ret  $31, ($26)
+            """,
+        )
+        assert result.exit_status == 42

@@ -1,0 +1,322 @@
+"""Golden semantics tests for the ARM v5 subset."""
+
+import pytest
+
+from repro.isa.base import get_bundle
+
+from tests.isa.harness import run_asm, step_one
+
+M32 = 0xFFFFFFFF
+
+
+def setup_with(pairs, flags=None):
+    def setup(state):
+        for reg, value in pairs.items():
+            state.rf["R"][reg] = value & M32
+        for name, value in (flags or {}).items():
+            state.sr[f"cpsr_{name}"] = value
+
+    return setup
+
+
+def r(sim, index):
+    return sim.state.rf["R"][index]
+
+
+def flags(sim):
+    sr = sim.state.sr
+    return (sr["cpsr_n"], sr["cpsr_z"], sr["cpsr_c"], sr["cpsr_v"])
+
+
+class TestDataProcessing:
+    @pytest.mark.parametrize(
+        "src,a,b,expected",
+        [
+            ("add r0, r1, r2", 5, 7, 12),
+            ("add r0, r1, r2", M32, 1, 0),
+            ("sub r0, r1, r2", 5, 7, (5 - 7) & M32),
+            ("rsb r0, r1, r2", 5, 7, 2),
+            ("and r0, r1, r2", 0b1100, 0b1010, 0b1000),
+            ("orr r0, r1, r2", 0b1100, 0b1010, 0b1110),
+            ("eor r0, r1, r2", 0b1100, 0b1010, 0b0110),
+            ("bic r0, r1, r2", 0b1111, 0b0101, 0b1010),
+            ("add r0, r1, r2, lsl #4", 1, 1, 17),
+            ("add r0, r1, r2, lsr #1", 0, 9, 4),
+            ("add r0, r1, r2, asr #1", 0, 0x80000000, 0xC0000000),
+            ("add r0, r1, r2, ror #8", 0, 0x1FF, 0xFF000001),
+        ],
+    )
+    def test_register_forms(self, src, a, b, expected):
+        sim = step_one("arm", setup_with({1: a, 2: b}), src)
+        assert r(sim, 0) == expected
+
+    def test_immediate_with_rotation(self):
+        sim = step_one("arm", None, "mov r0, #0xFF000000")
+        assert r(sim, 0) == 0xFF000000
+
+    def test_mvn(self):
+        sim = step_one("arm", None, "mvn r0, #0")
+        assert r(sim, 0) == M32
+
+    def test_register_shift_by_register(self):
+        sim = step_one("arm", setup_with({1: 1, 2: 12}), "mov r0, r1, lsl r2")
+        assert r(sim, 0) == 1 << 12
+
+    def test_shifter_out_reported(self):
+        sim = step_one("arm", setup_with({1: 0, 2: 3}), "add r0, r1, r2, lsl #4")
+        assert sim.di.shifter_out == 48
+
+    def test_adc_uses_carry(self):
+        sim = step_one("arm", setup_with({1: 1, 2: 2}, {"c": 1}), "adc r0, r1, r2")
+        assert r(sim, 0) == 4
+
+    def test_sbc_uses_carry(self):
+        sim = step_one("arm", setup_with({1: 10, 2: 3}, {"c": 0}), "sbc r0, r1, r2")
+        assert r(sim, 0) == 6  # 10 - 3 - 1
+
+    def test_flags_on_adds(self):
+        sim = step_one(
+            "arm", setup_with({1: 0x7FFFFFFF, 2: 1}), "adds r0, r1, r2"
+        )
+        n, z, c, v = flags(sim)
+        assert (n, z, c, v) == (1, 0, 0, 1)
+
+    def test_flags_on_subs_zero(self):
+        sim = step_one("arm", setup_with({1: 5, 2: 5}), "subs r0, r1, r2")
+        n, z, c, v = flags(sim)
+        assert (n, z, c, v) == (0, 1, 1, 0)  # C=1: no borrow
+
+    def test_cmp_sets_flags_without_writing(self):
+        sim = step_one("arm", setup_with({1: 3, 2: 5, 0: 123}), "cmp r1, r2")
+        assert r(sim, 0) == 123
+        n, z, c, v = flags(sim)
+        assert (n, z, c) == (1, 0, 0)
+
+    def test_tst(self):
+        sim = step_one("arm", setup_with({1: 0b100, 2: 0b010}), "tst r1, r2")
+        assert flags(sim)[1] == 1  # Z set
+
+    def test_logical_carry_from_shifter(self):
+        sim = step_one(
+            "arm", setup_with({1: 0, 2: 0x80000001}), "movs r0, r2, lsr #1"
+        )
+        assert r(sim, 0) == 0x40000000
+        assert flags(sim)[2] == 1  # bit shifted out
+
+
+class TestConditionalExecution:
+    def test_condition_false_skips(self):
+        sim = step_one("arm", setup_with({0: 7}, {"z": 0}), "moveq r0, #1")
+        assert r(sim, 0) == 7
+        assert sim.di.cond_ok == 0
+
+    def test_condition_true_executes(self):
+        sim = step_one("arm", setup_with({0: 7}, {"z": 1}), "moveq r0, #1")
+        assert r(sim, 0) == 1
+
+    @pytest.mark.parametrize(
+        "cond,setf,expect",
+        [
+            ("eq", {"z": 1}, True), ("ne", {"z": 1}, False),
+            ("cs", {"c": 1}, True), ("cc", {"c": 1}, False),
+            ("mi", {"n": 1}, True), ("pl", {"n": 0}, True),
+            ("hi", {"c": 1, "z": 0}, True), ("ls", {"c": 1, "z": 0}, False),
+            ("ge", {"n": 1, "v": 1}, True), ("lt", {"n": 1, "v": 0}, True),
+            ("gt", {"z": 0, "n": 0, "v": 0}, True),
+            ("le", {"z": 1, "n": 0, "v": 0}, True),
+        ],
+    )
+    def test_condition_table(self, cond, setf, expect):
+        sim = step_one("arm", setup_with({0: 0}, setf), f"mov{cond} r0, #1")
+        assert (r(sim, 0) == 1) is expect
+
+
+class TestMemory:
+    def test_ldr_str_roundtrip(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.mem.write_u32(0x4008, 0xDEADBEEF)
+
+        sim = step_one("arm", setup, "ldr r0, [r1, #8]")
+        assert r(sim, 0) == 0xDEADBEEF
+        assert sim.di.effective_addr == 0x4008
+
+    def test_str(self):
+        sim = step_one("arm", setup_with({0: 0xAB, 1: 0x4000}), "str r0, [r1]")
+        assert sim.state.mem.read_u32(0x4000) == 0xAB
+
+    def test_ldrb_strb(self):
+        sim = step_one("arm", setup_with({0: 0x1FF, 1: 0x4000}), "strb r0, [r1]")
+        assert sim.state.mem.read_u8(0x4000) == 0xFF
+
+    def test_pre_index_writeback(self):
+        sim = step_one("arm", setup_with({0: 7, 1: 0x4000}), "str r0, [r1, #4]!")
+        assert sim.state.mem.read_u32(0x4004) == 7
+        assert r(sim, 1) == 0x4004
+
+    def test_post_index(self):
+        sim = step_one("arm", setup_with({0: 7, 1: 0x4000}), "str r0, [r1], #4")
+        assert sim.state.mem.read_u32(0x4000) == 7
+        assert r(sim, 1) == 0x4004
+
+    def test_negative_offset(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4010
+            state.mem.write_u32(0x4008, 31)
+
+        sim = step_one("arm", setup, "ldr r0, [r1, #-8]")
+        assert r(sim, 0) == 31
+
+    def test_register_offset_with_shift(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.rf["R"][2] = 4
+            state.mem.write_u32(0x4010, 55)
+
+        sim = step_one("arm", setup, "ldr r0, [r1, r2, lsl #2]")
+        assert r(sim, 0) == 55
+
+    def test_halfword(self):
+        sim = step_one("arm", setup_with({0: 0x12345, 1: 0x4000}), "strh r0, [r1]")
+        assert sim.state.mem.read_u16(0x4000) == 0x2345
+
+    def test_ldrsb(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.mem.write_u8(0x4000, 0x80)
+
+        sim = step_one("arm", setup, "ldrsb r0, [r1]")
+        assert r(sim, 0) == 0xFFFFFF80
+
+
+class TestBranchesAndMisc:
+    def test_b_forward(self):
+        sim = step_one("arm", None, "b .+16")
+        assert sim.state.pc == 0x1000 + 16
+
+    def test_bl_links(self):
+        sim = step_one("arm", None, "bl .+16")
+        assert r(sim, 14) == 0x1004
+        assert sim.state.pc == 0x1010
+
+    def test_bx(self):
+        sim = step_one("arm", setup_with({3: 0x2001}), "bx r3")
+        assert sim.state.pc == 0x2000
+
+    def test_conditional_branch_not_taken(self):
+        sim = step_one("arm", setup_with({}, {"z": 0}), "beq .+16")
+        assert sim.state.pc == 0x1004
+
+    def test_mov_pc_is_a_jump(self):
+        sim = step_one("arm", setup_with({3: 0x3000}), "mov pc, r3")
+        assert sim.state.pc == 0x3000
+
+    def test_reading_pc_gives_pc_plus_8(self):
+        sim = step_one("arm", None, "mov r0, pc")
+        assert r(sim, 0) == 0x1008
+
+    def test_mul(self):
+        sim = step_one("arm", setup_with({1: 7, 2: 6}), "mul r0, r1, r2")
+        assert r(sim, 0) == 42
+
+    def test_mla(self):
+        sim = step_one("arm", setup_with({1: 7, 2: 6, 3: 8}), "mla r0, r1, r2, r3")
+        assert r(sim, 0) == 50
+
+    def test_clz(self):
+        sim = step_one("arm", setup_with({1: 0x00010000}), "clz r0, r1")
+        assert r(sim, 0) == 15
+
+    def test_mrs_msr_roundtrip(self):
+        sim, os_emu, result = run_asm(
+            "arm",
+            """
+            _start:
+                mov r1, #0
+                subs r1, r1, #1     @ sets N and C
+                mrs r2, cpsr
+                mov r3, #0
+                msr cpsr_f, r3      @ clear flags
+                mrs r4, cpsr
+                msr cpsr_f, r2      @ restore
+                mrs r5, cpsr
+                mov r0, #0
+                mov r7, #1
+                swi #0
+            """,
+        )
+        r2 = sim.state.rf["R"][2]
+        assert r2 >> 28 == 0b1000  # N=1 Z=0 C=0 (0-1 borrows) V=0
+        assert sim.state.rf["R"][4] >> 28 == 0
+        assert sim.state.rf["R"][5] == r2
+
+
+class TestDecode:
+    def test_canonical_encodings_decode(self):
+        spec = get_bundle("arm").load_spec()
+        for instr in spec.instructions:
+            for mask, value in instr.patterns:
+                word = value | (14 << 28)  # cond AL
+                index = spec.decode(word)
+                assert spec.instructions[index].name == instr.name
+
+    def test_mul_not_decoded_as_and(self):
+        spec = get_bundle("arm").load_spec()
+        asm = get_bundle("arm").make_assembler()
+        image = asm.assemble("mul r0, r1, r2")
+        word = int.from_bytes(image.segments[0][1][:4], "little")
+        assert spec.instructions[spec.decode(word)].name == "MUL"
+
+    def test_ldrh_not_decoded_as_dp(self):
+        spec = get_bundle("arm").load_spec()
+        asm = get_bundle("arm").make_assembler()
+        image = asm.assemble("ldrh r0, [r1, #2]")
+        word = int.from_bytes(image.segments[0][1][:4], "little")
+        assert spec.instructions[spec.decode(word)].name == "LDRH"
+
+
+class TestPrograms:
+    def test_gcd(self):
+        sim, os_emu, result = run_asm(
+            "arm",
+            """
+            _start:
+                mov r1, #84
+                mov r2, #36
+            gcd:
+                cmp r1, r2
+                subgt r1, r1, r2
+                sublt r2, r2, r1
+                bne gcd
+                mov r0, r1
+                mov r7, #1
+                swi #0
+            """,
+        )
+        assert result.exit_status == 12
+
+    def test_strlen_and_write(self):
+        sim, os_emu, result = run_asm(
+            "arm",
+            """
+            _start:
+                li   r4, text
+                mov  r5, #0
+            count:
+                ldrb r6, [r4, r5]
+                cmp  r6, #0
+                addne r5, r5, #1
+                bne  count
+                mov  r0, #1
+                li   r1, text
+                mov  r2, r5
+                mov  r7, #4
+                swi  #0
+                mov  r0, r5
+                mov  r7, #1
+                swi  #0
+            text: .asciz "conditional!"
+            """,
+        )
+        assert bytes(os_emu.stdout) == b"conditional!"
+        assert result.exit_status == 12

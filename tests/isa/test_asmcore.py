@@ -1,0 +1,156 @@
+"""Unit tests for the shared assembler framework."""
+
+import pytest
+
+from repro.isa.asmcore import (
+    AsmContext,
+    AsmError,
+    Assembler,
+    ExprEvaluator,
+    hi16,
+    lo16,
+)
+
+
+class MiniAssembler(Assembler):
+    """4-byte 'instructions': just the evaluated single operand."""
+
+    def encode(self, mnemonic, operands, ctx):
+        if mnemonic == "emit":
+            return [self.evaluate(operands[0], ctx) & 0xFFFFFFFF]
+        raise AsmError(f"unknown {mnemonic}", ctx.lineno)
+
+
+def words_of(image):
+    return [
+        int.from_bytes(data[i : i + 4], "little")
+        for _, data in image.segments
+        for i in range(0, len(data), 4)
+    ]
+
+
+class TestExprEvaluator:
+    def eval(self, text, symbols=None):
+        return ExprEvaluator(text, symbols or {}, 1).parse()
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("0x10 | 0x01", 0x11),
+            ("1 << 4", 16),
+            ("256 >> 4", 16),
+            ("-5 + 3", -2),
+            ("~0 & 0xff", 0xFF),
+            ("10 % 3", 1),
+            ("7 / 2", 3),
+            ("0b1010 ^ 0b0110", 0b1100),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        assert self.eval(text) == expected
+
+    def test_symbols(self):
+        assert self.eval("base + 8", {"base": 0x100}) == 0x108
+
+    def test_hi16_lo16(self):
+        value = 0x12348000
+        assert hi16(value) * 65536 + (lo16(value) - 0x10000) == value
+        assert self.eval("hi16(0x12345678)") == 0x1234
+        assert self.eval("lo16(0x12345678)") == 0x5678
+
+    def test_hi16_carry_adjustment(self):
+        # lo16 is sign-extended by lda-style instructions: hi must adjust.
+        value = 0x0001_8000
+        assert hi16(value) == 2  # not 1
+        reconstructed = hi16(value) * 65536 + (lo16(value) - 0x10000)
+        assert reconstructed == value
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError, match="undefined"):
+            self.eval("nope")
+
+    def test_trailing_junk(self):
+        with pytest.raises(AsmError, match="trailing"):
+            self.eval("1 2")
+
+    def test_bad_character(self):
+        with pytest.raises(AsmError):
+            self.eval("1 ? 2")
+
+
+class TestTwoPass:
+    def test_labels_and_forward_references(self):
+        asm = MiniAssembler()
+        image = asm.assemble(
+            """
+            start: emit end
+                   emit start
+            end:   emit 7
+            """,
+            origin=0x100,
+        )
+        assert words_of(image) == [0x108, 0x100, 7]
+
+    def test_org_directive(self):
+        asm = MiniAssembler()
+        image = asm.assemble(".org 0x40\nemit 1\n")
+        assert image.segments[0][0] == 0x40
+
+    def test_word_byte_space_align(self):
+        asm = MiniAssembler()
+        image = asm.assemble(
+            """
+            .byte 1, 2
+            .align 4
+            .word 0xAABBCCDD
+            .space 4
+            """
+        )
+        data = image.segments[0][1]
+        assert data[0:2] == b"\x01\x02"
+        assert data[4:8] == (0xAABBCCDD).to_bytes(4, "little")
+        assert len(data) == 12
+
+    def test_asciz(self):
+        asm = MiniAssembler()
+        image = asm.assemble('.asciz "hi\\n"')
+        assert image.segments[0][1] == b"hi\n\x00"
+
+    def test_symbol_assignment(self):
+        asm = MiniAssembler()
+        image = asm.assemble("K = 5\nemit K + 1\n")
+        assert words_of(image) == [6]
+
+    def test_dot_is_location_counter(self):
+        asm = MiniAssembler()
+        image = asm.assemble("emit .\nemit .\n", origin=0x10)
+        assert words_of(image) == [0x10, 0x14]
+
+    def test_entry_defaults_to_start_symbol(self):
+        asm = MiniAssembler()
+        image = asm.assemble("emit 0\n_start: emit 1\n", origin=0)
+        assert image.entry == 4
+
+    def test_unknown_directive(self):
+        asm = MiniAssembler()
+        with pytest.raises(AsmError, match="unknown directive"):
+            asm.assemble(".frobnicate 1")
+
+    def test_errors_carry_line_numbers(self):
+        asm = MiniAssembler()
+        with pytest.raises(AsmError, match="line 2"):
+            asm.assemble("emit 1\nbogus 2\n")
+
+    def test_comments_stripped(self):
+        asm = MiniAssembler()
+        image = asm.assemble("emit 1 # comment\nemit 2 // also\n")
+        assert words_of(image) == [1, 2]
+
+    def test_range_check(self):
+        asm = MiniAssembler()
+        ctx = AsmContext(0, {}, 1, 2)
+        assert asm.check_range(-1, 8, True, 1, "x") == 0xFF
+        with pytest.raises(AsmError, match="out of range"):
+            asm.check_range(300, 8, False, 1, "x")

@@ -1,0 +1,60 @@
+"""Tests for the spec-derived generic disassembler."""
+
+import pytest
+
+from repro.isa.base import get_bundle
+from repro.isa.disasm import Disassembler
+
+
+@pytest.fixture(scope="module")
+def alpha():
+    bundle = get_bundle("alpha")
+    return bundle, Disassembler(bundle.load_spec())
+
+
+def word_of(bundle, source):
+    image = bundle.make_assembler().assemble(source)
+    return int.from_bytes(image.segments[0][1][:4], "little")
+
+
+class TestDisassembler:
+    def test_operate(self, alpha):
+        bundle, disasm = alpha
+        text = disasm.disassemble(word_of(bundle, "addq $1, $2, $3"))
+        assert text.startswith("ADDQ")
+        assert "ra=1" in text and "rb=2" in text and "rc=3" in text
+
+    def test_memory_displacement(self, alpha):
+        bundle, disasm = alpha
+        text = disasm.disassemble(word_of(bundle, "ldq $4, -8($30)"))
+        assert text.startswith("LDQ")
+        assert "disp16=-8" in text
+
+    def test_unknown_word(self, alpha):
+        _, disasm = alpha
+        # opcode 0x07 is unassigned in the Alpha subset
+        assert disasm.disassemble(0x07 << 26).startswith(".word")
+
+    def test_range_disassembly(self, alpha):
+        bundle, disasm = alpha
+        from repro.arch.memory import Memory
+
+        mem = Memory()
+        image = bundle.make_assembler().assemble(
+            "addq $1, $2, $3\nsubq $3, 1, $3\n", origin=0x100
+        )
+        for addr, data in image.segments:
+            mem.write_bytes(addr, data)
+        lines = disasm.disassemble_range(mem, 0x100, 2)
+        assert "ADDQ" in lines[0]
+        assert "SUBQ" in lines[1]
+
+    @pytest.mark.parametrize("isa", ["alpha", "arm", "ppc"])
+    def test_every_instruction_renders(self, isa):
+        bundle = get_bundle(isa)
+        spec = bundle.load_spec()
+        disasm = Disassembler(spec)
+        cond = (14 << 28) if isa == "arm" else 0
+        for instr in spec.instructions:
+            text = disasm.disassemble(instr.patterns[0][1] | cond)
+            assert text.split()[0] == instr.name

@@ -1,0 +1,318 @@
+"""Golden semantics tests for the PowerPC subset."""
+
+import pytest
+
+from repro.isa.base import get_bundle
+
+from tests.isa.harness import run_asm, step_one
+
+M32 = 0xFFFFFFFF
+
+
+def setup_with(pairs, sregs=None):
+    def setup(state):
+        for reg, value in pairs.items():
+            state.rf["R"][reg] = value & M32
+        for name, value in (sregs or {}).items():
+            state.sr[name] = value
+
+    return setup
+
+
+def r(sim, index):
+    return sim.state.rf["R"][index]
+
+
+def cr0(sim):
+    return sim.state.sr["cr"] >> 28
+
+
+class TestDFormArithmetic:
+    def test_addi(self):
+        sim = step_one("ppc", setup_with({1: 5}), "addi 3, 1, 10")
+        assert r(sim, 3) == 15
+
+    def test_addi_ra0_is_literal_zero(self):
+        sim = step_one("ppc", setup_with({0: 999}), "addi 3, 0, 10")
+        assert r(sim, 3) == 10
+
+    def test_addis(self):
+        sim = step_one("ppc", setup_with({1: 4}), "addis 3, 1, 2")
+        assert r(sim, 3) == 0x20004
+
+    def test_addi_negative(self):
+        sim = step_one("ppc", setup_with({1: 5}), "addi 3, 1, -10")
+        assert r(sim, 3) == (5 - 10) & M32
+
+    def test_mulli(self):
+        sim = step_one("ppc", setup_with({1: (-3) & M32}), "mulli 3, 1, 7")
+        assert r(sim, 3) == (-21) & M32
+
+    def test_subfic_sets_carry(self):
+        sim = step_one("ppc", setup_with({1: 3}), "subfic 3, 1, 10")
+        assert r(sim, 3) == 7
+        assert sim.state.sr["xer_ca"] == 1
+
+    def test_ori_oris_xori(self):
+        sim = step_one("ppc", setup_with({2: 0xF0}), "ori 3, 2, 0x0F")
+        assert r(sim, 3) == 0xFF
+        sim = step_one("ppc", setup_with({2: 1}), "oris 3, 2, 0x8000")
+        assert r(sim, 3) == 0x80000001
+
+    def test_andi_dot_sets_cr0(self):
+        sim = step_one("ppc", setup_with({2: 0b1100}), "andi. 3, 2, 0b0011")
+        assert r(sim, 3) == 0
+        assert cr0(sim) == 0b0010  # EQ
+
+
+class TestXForm:
+    @pytest.mark.parametrize(
+        "src,a,b,expected",
+        [
+            ("add 3, 1, 2", 5, 7, 12),
+            ("subf 3, 1, 2", 5, 7, 2),  # rb - ra
+            ("mullw 3, 1, 2", 0x10000, 0x10000, 0),
+            ("mulhwu 3, 1, 2", 0x80000000, 4, 2),
+            ("divw 3, 1, 2", (-7) & M32, 2, (-3) & M32),
+            ("divwu 3, 1, 2", 7, 2, 3),
+            ("and 3, 1, 2", 0b1100, 0b1010, 0b1000),
+            ("or 3, 1, 2", 0b1100, 0b1010, 0b1110),
+            ("xor 3, 1, 2", 0b1100, 0b1010, 0b0110),
+            ("nand 3, 1, 2", M32, M32, 0),
+            ("nor 3, 1, 2", 0, 0, M32),
+            ("andc 3, 1, 2", 0b1111, 0b0101, 0b1010),
+            ("slw 3, 1, 2", 1, 31, 1 << 31),
+            ("slw 3, 1, 2", 1, 32, 0),
+            ("srw 3, 1, 2", 1 << 31, 31, 1),
+            ("sraw 3, 1, 2", 0x80000000, 31, M32),
+        ],
+    )
+    def test_arith_logic(self, src, a, b, expected):
+        sim = step_one("ppc", setup_with({1: a, 2: b}), src)
+        assert r(sim, 3) == expected
+
+    def test_x_logic_operand_order(self):
+        # and rA, rS, rB: destination is the *second* operand field
+        sim = step_one("ppc", setup_with({4: 0b1100, 5: 0b1010}), "and 3, 4, 5")
+        assert r(sim, 3) == 0b1000
+
+    def test_dot_form_sets_cr0_lt(self):
+        sim = step_one("ppc", setup_with({1: M32, 2: 1}), "add. 3, 1, 2")
+        assert r(sim, 3) == 0
+        assert cr0(sim) == 0b0010
+        sim = step_one("ppc", setup_with({1: M32, 2: 0}), "add. 3, 1, 2")
+        assert cr0(sim) == 0b1000  # negative -> LT
+
+    def test_neg(self):
+        sim = step_one("ppc", setup_with({1: 5}), "neg 3, 1")
+        assert r(sim, 3) == (-5) & M32
+
+    def test_cntlzw_extsb_extsh(self):
+        sim = step_one("ppc", setup_with({1: 0x00010000}), "cntlzw 3, 1")
+        assert r(sim, 3) == 15
+        sim = step_one("ppc", setup_with({1: 0x80}), "extsb 3, 1")
+        assert r(sim, 3) == 0xFFFFFF80
+        sim = step_one("ppc", setup_with({1: 0x8000}), "extsh 3, 1")
+        assert r(sim, 3) == 0xFFFF8000
+
+    def test_srawi_carry(self):
+        sim = step_one("ppc", setup_with({1: (-5) & M32}), "srawi 3, 1, 1")
+        assert r(sim, 3) == (-3) & M32
+        assert sim.state.sr["xer_ca"] == 1
+
+    def test_addc_carry(self):
+        sim = step_one("ppc", setup_with({1: M32, 2: 1}), "addc 3, 1, 2")
+        assert r(sim, 3) == 0
+        assert sim.state.sr["xer_ca"] == 1
+
+
+class TestRotates:
+    def test_rlwinm_shift(self):
+        sim = step_one("ppc", setup_with({2: 1}), "rlwinm 3, 2, 4, 0, 27")
+        assert r(sim, 3) == 16
+
+    def test_rlwinm_mask_extract(self):
+        # extract byte 2 (bits 8..15 IBM) == (value >> 16) & 0xff
+        sim = step_one("ppc", setup_with({2: 0x12345678}), "rlwinm 3, 2, 16, 24, 31")
+        assert r(sim, 3) == 0x34
+
+    def test_rlwinm_wrap_mask(self):
+        sim = step_one("ppc", setup_with({2: M32}), "rlwinm 3, 2, 0, 31, 0")
+        assert r(sim, 3) == 0x80000001
+
+    def test_rlwimi_inserts(self):
+        sim = step_one(
+            "ppc", setup_with({2: 0xAB, 3: 0x11223344}), "rlwimi 3, 2, 8, 16, 23"
+        )
+        assert r(sim, 3) == 0x1122AB44
+
+
+class TestMemory:
+    def test_lwz_stw(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.mem.write_u32(0x4008, 0xCAFEBABE)
+
+        sim = step_one("ppc", setup, "lwz 3, 8(1)")
+        assert r(sim, 3) == 0xCAFEBABE
+        assert sim.di.effective_addr == 0x4008
+
+    def test_big_endian_layout(self):
+        sim = step_one("ppc", setup_with({3: 0x11223344, 1: 0x4000}), "stw 3, 0(1)")
+        assert sim.state.mem.read_u8(0x4000) == 0x11
+
+    def test_lha_sign_extends(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.mem.write(0x4000, 2, 0x8000)
+
+        sim = step_one("ppc", setup, "lha 3, 0(1)")
+        assert r(sim, 3) == 0xFFFF8000
+
+    def test_stwu_updates_base(self):
+        sim = step_one("ppc", setup_with({1: 0x4010, 3: 77}), "stwu 3, -16(1)")
+        assert sim.state.mem.read_u32(0x4000) == 77
+        assert r(sim, 1) == 0x4000
+
+    def test_lwzu_updates_base(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.mem.write_u32(0x4004, 31)
+
+        sim = step_one("ppc", setup, "lwzu 3, 4(1)")
+        assert r(sim, 3) == 31
+        assert r(sim, 1) == 0x4004
+
+    def test_indexed_forms(self):
+        def setup(state):
+            state.rf["R"][1] = 0x4000
+            state.rf["R"][2] = 0x10
+            state.mem.write_u32(0x4010, 55)
+
+        sim = step_one("ppc", setup, "lwzx 3, 1, 2")
+        assert r(sim, 3) == 55
+        sim = step_one("ppc", setup_with({1: 0x4000, 2: 4, 3: 9}), "stwx 3, 1, 2")
+        assert sim.state.mem.read_u32(0x4004) == 9
+
+
+class TestComparesAndBranches:
+    def test_cmpwi_lt(self):
+        sim = step_one("ppc", setup_with({4: (-3) & M32}), "cmpwi 4, 0")
+        assert cr0(sim) == 0b1000
+
+    def test_cmpwi_crf(self):
+        sim = step_one("ppc", setup_with({4: 7}), "cmpwi 2, 4, 7")
+        assert (sim.state.sr["cr"] >> (28 - 8)) & 0xF == 0b0010
+
+    def test_cmplwi_unsigned(self):
+        sim = step_one("ppc", setup_with({4: M32}), "cmplwi 4, 1")
+        assert cr0(sim) == 0b0100  # unsigned max > 1
+
+    def test_cmpw_registers(self):
+        sim = step_one("ppc", setup_with({4: 2, 5: 9}), "cmpw 4, 5")
+        assert cr0(sim) == 0b1000
+
+    def test_b_and_bl(self):
+        sim = step_one("ppc", None, "b .+16")
+        assert sim.state.pc == 0x1010
+        sim = step_one("ppc", None, "bl .+16")
+        assert sim.state.pc == 0x1010
+        assert sim.state.sr["lr"] == 0x1004
+
+    def test_bne_taken(self):
+        sim = step_one("ppc", setup_with({}, {"cr": 0x40000000}), "bne .+12")
+        # CR0 = GT -> EQ bit clear -> bne taken
+        assert sim.state.pc == 0x100C
+
+    def test_beq_not_taken(self):
+        sim = step_one("ppc", setup_with({}, {"cr": 0x40000000}), "beq .+12")
+        assert sim.state.pc == 0x1004
+
+    def test_bdnz_decrements_ctr(self):
+        sim = step_one("ppc", setup_with({}, {"ctr": 3}), "bdnz .+8")
+        assert sim.state.sr["ctr"] == 2
+        assert sim.state.pc == 0x1008
+        sim = step_one("ppc", setup_with({}, {"ctr": 1}), "bdnz .+8")
+        assert sim.state.sr["ctr"] == 0
+        assert sim.state.pc == 0x1004  # fell through
+
+    def test_blr(self):
+        sim = step_one("ppc", setup_with({}, {"lr": 0x2000}), "blr")
+        assert sim.state.pc == 0x2000
+
+    def test_bctr(self):
+        sim = step_one("ppc", setup_with({}, {"ctr": 0x3000}), "bctr")
+        assert sim.state.pc == 0x3000
+
+    def test_mtlr_mflr(self):
+        sim = step_one("ppc", setup_with({5: 0x1234}), "mtlr 5")
+        assert sim.state.sr["lr"] == 0x1234
+        sim = step_one("ppc", setup_with({}, {"lr": 0x77}), "mflr 6")
+        assert r(sim, 6) == 0x77
+
+    def test_mfcr(self):
+        sim = step_one("ppc", setup_with({}, {"cr": 0x12345678}), "mfcr 3")
+        assert r(sim, 3) == 0x12345678
+
+
+class TestDecode:
+    def test_canonical_encodings_decode(self):
+        spec = get_bundle("ppc").load_spec()
+        for instr in spec.instructions:
+            for mask, value in instr.patterns:
+                index = spec.decode(value)
+                assert spec.instructions[index].name == instr.name
+
+
+class TestPrograms:
+    def test_countdown_with_ctr(self):
+        sim, os_emu, result = run_asm(
+            "ppc",
+            """
+            _start:
+                li 6, 0
+                li 7, 50
+                mtctr 7
+            loop:
+                addi 6, 6, 2
+                bdnz loop
+                mr 3, 6
+                li 0, 1
+                sc
+            """,
+        )
+        assert result.exit_status == 100
+
+    def test_function_via_lr(self):
+        sim, os_emu, result = run_asm(
+            "ppc",
+            """
+            _start:
+                li 3, 21
+                bl double
+                li 0, 1
+                sc
+            double:
+                add 3, 3, 3
+                blr
+            """,
+        )
+        assert result.exit_status == 42
+
+    def test_write_hello(self):
+        sim, os_emu, result = run_asm(
+            "ppc",
+            """
+            _start:
+                li 3, 1
+                liw 4, text
+                li 5, 3
+                li 0, 4
+                sc
+                li 3, 0
+                li 0, 1
+                sc
+            text: .asciz "ppc"
+            """,
+        )
+        assert bytes(os_emu.stdout) == b"ppc"

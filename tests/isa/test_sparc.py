@@ -1,0 +1,195 @@
+"""Golden semantics tests for the SPARC subset."""
+
+import pytest
+
+from repro.isa.base import get_bundle
+from repro.synth import synthesize
+from repro.workloads import kernel_names, run_kernel
+
+from tests.isa.harness import run_asm, step_one
+
+M32 = 0xFFFFFFFF
+
+
+def setup_with(pairs, sregs=None):
+    def setup(state):
+        for reg, value in pairs.items():
+            state.rf["R"][reg] = value & M32
+        for name, value in (sregs or {}).items():
+            state.sr[name] = value
+
+    return setup
+
+
+def r(sim, index):
+    return sim.state.rf["R"][index]
+
+
+def icc(sim):
+    sr = sim.state.sr
+    return (sr["icc_n"], sr["icc_z"], sr["icc_v"], sr["icc_c"])
+
+
+class TestArith:
+    @pytest.mark.parametrize(
+        "src,a,b,expected",
+        [
+            ("add %l0, %l1, %l2", 5, 7, 12),
+            ("sub %l0, %l1, %l2", 5, 7, (5 - 7) & M32),
+            ("and %l0, %l1, %l2", 0b1100, 0b1010, 0b1000),
+            ("or %l0, %l1, %l2", 0b1100, 0b1010, 0b1110),
+            ("xor %l0, %l1, %l2", 0b1100, 0b1010, 0b0110),
+            ("andn %l0, %l1, %l2", 0b1111, 0b0101, 0b1010),
+            ("xnor %l0, %l1, %l2", 5, 5, M32),
+            ("umul %l0, %l1, %l2", 0x10000, 0x10000, 0),
+            ("sll %l0, %l1, %l2", 1, 31, 1 << 31),
+            ("srl %l0, %l1, %l2", 1 << 31, 31, 1),
+            ("sra %l0, %l1, %l2", 1 << 31, 31, M32),
+        ],
+    )
+    def test_register_forms(self, src, a, b, expected):
+        sim = step_one("sparc", setup_with({16: a, 17: b}), src)
+        assert r(sim, 18) == expected
+
+    def test_immediate_form(self):
+        sim = step_one("sparc", setup_with({16: 10}), "add %l0, -3, %l1")
+        assert r(sim, 17) == 7
+
+    def test_g0_reads_zero(self):
+        sim = step_one("sparc", setup_with({0: 0, 16: 5}), "add %g0, %l0, %l1")
+        assert r(sim, 17) == 5
+
+    def test_g0_write_discarded(self):
+        sim = step_one("sparc", setup_with({16: 5}), "add %l0, %l0, %g0")
+        assert r(sim, 0) == 0
+
+    def test_umul_sets_y(self):
+        sim = step_one("sparc", setup_with({16: 1 << 31, 17: 4}), "umul %l0, %l1, %l2")
+        assert sim.state.sr["y"] == 2
+
+    def test_subcc_flags(self):
+        sim = step_one("sparc", setup_with({16: 5, 17: 5}), "subcc %l0, %l1, %g0")
+        n, z, v, c = icc(sim)
+        assert (n, z, v, c) == (0, 1, 0, 0)
+
+    def test_addcc_overflow(self):
+        sim = step_one(
+            "sparc", setup_with({16: 0x7FFFFFFF, 17: 1}), "addcc %l0, %l1, %l2"
+        )
+        n, z, v, c = icc(sim)
+        assert (n, v) == (1, 1)
+
+    def test_sethi(self):
+        sim = step_one("sparc", None, "sethi 0x12345, %l0")
+        assert r(sim, 16) == 0x12345 << 10
+
+    def test_save_restore_are_adds_in_flat_model(self):
+        sim = step_one("sparc", setup_with({14: 0x9000}), "save %sp, -96, %sp")
+        assert r(sim, 14) == 0x9000 - 96
+
+
+class TestMemory:
+    def test_ld_st_roundtrip(self):
+        def setup(state):
+            state.rf["R"][8] = 0x4000
+            state.mem.write_u32(0x4008, 0xCAFEBABE)
+
+        sim = step_one("sparc", setup, "ld [%o0 + 8], %l0")
+        assert r(sim, 16) == 0xCAFEBABE
+
+    def test_st(self):
+        sim = step_one(
+            "sparc", setup_with({16: 0xAB, 8: 0x4000}), "st %l0, [%o0]"
+        )
+        assert sim.state.mem.read_u32(0x4000) == 0xAB
+
+    def test_big_endian(self):
+        sim = step_one(
+            "sparc", setup_with({16: 0x11223344, 8: 0x4000}), "st %l0, [%o0]"
+        )
+        assert sim.state.mem.read_u8(0x4000) == 0x11
+
+    def test_ldsb(self):
+        def setup(state):
+            state.rf["R"][8] = 0x4000
+            state.mem.write_u8(0x4000, 0x80)
+
+        sim = step_one("sparc", setup, "ldsb [%o0], %l0")
+        assert r(sim, 16) == 0xFFFFFF80
+
+    def test_register_offset(self):
+        def setup(state):
+            state.rf["R"][8] = 0x4000
+            state.rf["R"][9] = 0x10
+            state.mem.write_u32(0x4010, 55)
+
+        sim = step_one("sparc", setup, "ld [%o0 + %o1], %l0")
+        assert r(sim, 16) == 55
+
+
+class TestControl:
+    def test_ba(self):
+        sim = step_one("sparc", None, "ba .+16")
+        assert sim.state.pc == 0x1010
+
+    def test_bne_taken_and_not(self):
+        sim = step_one("sparc", setup_with({}, {"icc_z": 0}), "bne .+12")
+        assert sim.state.pc == 0x100C
+        sim = step_one("sparc", setup_with({}, {"icc_z": 1}), "bne .+12")
+        assert sim.state.pc == 0x1004
+
+    @pytest.mark.parametrize(
+        "branch,flags,taken",
+        [
+            ("bg", {"icc_z": 0, "icc_n": 0, "icc_v": 0}, True),
+            ("ble", {"icc_z": 1}, True),
+            ("bge", {"icc_n": 1, "icc_v": 1}, True),
+            ("bl", {"icc_n": 1, "icc_v": 0}, True),
+            ("bgu", {"icc_c": 0, "icc_z": 0}, True),
+            ("bleu", {"icc_c": 1}, True),
+            ("bcs", {"icc_c": 1}, True),
+            ("bneg", {"icc_n": 1}, True),
+        ],
+    )
+    def test_condition_table(self, branch, flags, taken):
+        sim = step_one("sparc", setup_with({}, flags), f"{branch} .+8")
+        assert (sim.state.pc == 0x1008) is taken
+
+    def test_call_links_o7(self):
+        sim = step_one("sparc", None, "call .+20")
+        assert sim.state.pc == 0x1014
+        assert r(sim, 15) == 0x1000
+
+    def test_jmpl_links(self):
+        sim = step_one("sparc", setup_with({16: 0x2000}), "jmpl [%l0], %o7")
+        assert sim.state.pc == 0x2000
+        assert r(sim, 15) == 0x1000
+
+    def test_call_retl_roundtrip(self):
+        sim, os_emu, result = run_asm(
+            "sparc",
+            """
+            _start:
+                mov 21, %o0
+                call double
+                mov 1, %g1
+                ta 0
+            double:
+                add %o0, %o0, %o0
+                retl
+            """,
+        )
+        assert result.exit_status == 42
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_suite_on_sparc(self, name):
+        generated = synthesize(get_bundle("sparc").load_spec(), "one_min")
+        run = run_kernel(generated, "sparc", name)
+        assert run.correct, f"{name}: {run.result:#x} != {run.expected:#x}"
+
+    def test_kernels_under_block_translation(self):
+        generated = synthesize(get_bundle("sparc").load_spec(), "block_min")
+        run = run_kernel(generated, "sparc", "checksum")
+        assert run.correct

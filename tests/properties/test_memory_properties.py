@@ -1,0 +1,58 @@
+"""Property-based tests: sparse memory behaves like a dict of bytes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.memory import Memory
+
+addr_st = st.integers(min_value=0, max_value=1 << 20)
+size_st = st.sampled_from([1, 2, 4, 8])
+
+write_op = st.tuples(addr_st, size_st, st.integers(min_value=0))
+
+
+@st.composite
+def write_sequences(draw):
+    return draw(st.lists(write_op, min_size=0, max_size=40))
+
+
+class TestMemoryModel:
+    @given(write_sequences(), st.sampled_from(["little", "big"]))
+    @settings(max_examples=60)
+    def test_matches_byte_dict_model(self, writes, endian):
+        mem = Memory(endian)
+        model: dict[int, int] = {}
+        for addr, size, value in writes:
+            mem.write(addr, size, value)
+            data = (value & ((1 << (size * 8)) - 1)).to_bytes(size, endian)
+            for offset, byte in enumerate(data):
+                model[addr + offset] = byte
+        for addr in {a for a, _, _ in writes}:
+            for offset in range(8):
+                assert mem.read_u8(addr + offset) == model.get(addr + offset, 0)
+
+    @given(write_sequences())
+    @settings(max_examples=40)
+    def test_snapshot_restore_is_identity(self, writes):
+        mem = Memory()
+        for addr, size, value in writes[: len(writes) // 2]:
+            mem.write(addr, size, value)
+        snap = mem.snapshot()
+        before = {a: mem.read_u64(a) for a, _, _ in writes}
+        for addr, size, value in writes[len(writes) // 2 :]:
+            mem.write(addr, size, value ^ 0xFF)
+        mem.restore(snap)
+        for addr, _, _ in writes:
+            assert mem.read_u64(addr) == before[addr]
+
+    @given(addr_st, size_st, st.integers(min_value=0))
+    def test_read_back_write(self, addr, size, value):
+        mem = Memory()
+        mem.write(addr, size, value)
+        assert mem.read(addr, size) == value & ((1 << (size * 8)) - 1)
+
+    @given(addr_st, st.binary(min_size=0, max_size=300))
+    @settings(max_examples=40)
+    def test_bulk_roundtrip(self, addr, data):
+        mem = Memory()
+        mem.write_bytes(addr, data)
+        assert mem.read_bytes(addr, len(data)) == data

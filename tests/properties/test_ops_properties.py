@@ -1,0 +1,104 @@
+"""Property-based tests for the fixed-width arithmetic helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro import ops
+
+u64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+u32s = st.integers(min_value=0, max_value=(1 << 32) - 1)
+anyints = st.integers(min_value=-(1 << 80), max_value=1 << 80)
+bits = st.integers(min_value=1, max_value=64)
+
+
+class TestTruncation:
+    @given(anyints)
+    def test_u64_range(self, x):
+        assert 0 <= ops.u64(x) < (1 << 64)
+
+    @given(anyints)
+    def test_u32_idempotent(self, x):
+        assert ops.u32(ops.u32(x)) == ops.u32(x)
+
+    @given(u32s)
+    def test_i32_roundtrip(self, x):
+        assert ops.u32(ops.i32(x)) == x
+
+    @given(u64s)
+    def test_i64_roundtrip(self, x):
+        assert ops.u64(ops.i64(x)) == x
+
+    @given(u32s)
+    def test_i32_sign(self, x):
+        signed = ops.i32(x)
+        assert (signed < 0) == bool(x & 0x80000000)
+
+    @given(anyints, bits)
+    def test_sext_range(self, x, b):
+        value = ops.sext(x, b)
+        assert -(1 << (b - 1)) <= value < (1 << (b - 1))
+
+    @given(anyints, bits)
+    def test_sext_preserves_low_bits(self, x, b):
+        assert ops.sext(x, b) & ((1 << b) - 1) == x & ((1 << b) - 1)
+
+
+class TestRotates:
+    @given(u32s, st.integers(min_value=0, max_value=100))
+    def test_rotl_rotr_inverse(self, x, n):
+        assert ops.rotr32(ops.rotl32(x, n), n) == x
+
+    @given(u64s, st.integers(min_value=0, max_value=200))
+    def test_rot64_inverse(self, x, n):
+        assert ops.rotr64(ops.rotl64(x, n), n) == x
+
+    @given(u32s, st.integers(min_value=0, max_value=100))
+    def test_rotl_preserves_popcount(self, x, n):
+        assert ops.popcount(ops.rotl32(x, n)) == ops.popcount(x)
+
+    @given(u32s)
+    def test_rot_by_32_identity(self, x):
+        assert ops.rotl32(x, 32) == x
+
+
+class TestBitCounts:
+    @given(u32s)
+    def test_clz_ctz_consistent(self, x):
+        if x:
+            assert ops.clz32(x) + x.bit_length() == 32
+            assert x >> ops.ctz32(x) & 1 == 1
+        else:
+            assert ops.clz32(x) == 32
+            assert ops.ctz32(x) == 32
+
+    @given(u32s)
+    def test_popcount_matches_bin(self, x):
+        assert ops.popcount(x) == bin(x).count("1")
+
+
+class TestCarryOverflow:
+    @given(u32s, u32s, st.integers(min_value=0, max_value=1))
+    def test_carry_add32_matches_wide_math(self, a, b, cin):
+        wide = a + b + cin
+        assert ops.carry_add32(a, b, cin) == (1 if wide >= (1 << 32) else 0)
+
+    @given(u64s, u64s)
+    def test_carry_add64(self, a, b):
+        assert ops.carry_add64(a, b) == (1 if a + b >= (1 << 64) else 0)
+
+    @given(u32s, u32s)
+    def test_borrow_matches_comparison(self, a, b):
+        assert ops.borrow_sub32(a, b) == (1 if a < b else 0)
+
+    @given(u32s, u32s)
+    def test_overflow_add32_matches_signed_math(self, a, b):
+        result = ops.u32(a + b)
+        true_sum = ops.i32(a) + ops.i32(b)
+        expected = 0 if -(1 << 31) <= true_sum < (1 << 31) else 1
+        assert ops.overflow_add32(a, b, result) == expected
+
+    @given(u32s, u32s)
+    def test_overflow_sub32_matches_signed_math(self, a, b):
+        result = ops.u32(a - b)
+        true_diff = ops.i32(a) - ops.i32(b)
+        expected = 0 if -(1 << 31) <= true_diff < (1 << 31) else 1
+        assert ops.overflow_sub32(a, b, result) == expected

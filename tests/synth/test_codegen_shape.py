@@ -1,0 +1,163 @@
+"""The paper's Figures 2-4, reproduced as generated-code structure.
+
+Figure 2: the dynamic-instruction structure whose fields define the
+informational level of detail.  Figure 3: an interface function executing
+a whole instruction by calling the high-detail pieces.  Figure 4: the
+less-informational variant where hidden values become locals.  Our
+synthesizer *generates* these shapes; the tests pin them down.
+"""
+
+import ast
+
+import pytest
+
+from repro.synth import SynthOptions, synthesize
+
+
+@pytest.fixture(scope="module")
+def one_all(toy_spec):
+    return synthesize(toy_spec, "one_all")
+
+
+@pytest.fixture(scope="module")
+def one_min(toy_spec):
+    return synthesize(toy_spec, "one_min")
+
+
+def body_of(generated, instr_name):
+    spec = generated.plan.spec
+    index = next(
+        i for i, ins in enumerate(spec.instructions) if ins.name == instr_name
+    )
+    module = ast.parse(generated.source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef) and node.name == f"_b_{index}":
+            return node
+    raise AssertionError(f"no body for {instr_name}")
+
+
+def assigned_locals(fn):
+    out = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+    return out
+
+
+def attribute_stores(fn):
+    out = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "di"
+                ):
+                    out.add(target.attr)
+    return out
+
+
+class TestFigure2DynamicInstructionStructure:
+    """Fields of the record define the informational detail level."""
+
+    def test_all_detail_record_carries_operands_and_intermediates(self, one_all):
+        slots = set(one_all.di_class.__slots__)
+        # Figure 2's examples: source operands, destination, effective addr
+        assert {"src1_val", "src2_val", "dest_val", "effective_addr"} <= slots
+
+    def test_min_detail_record_is_minimal(self, one_min):
+        slots = set(one_min.di_class.__slots__)
+        assert {"pc", "phys_pc", "instr_bits", "next_pc", "fault"} <= slots
+        assert "src1_val" not in slots
+        assert "effective_addr" not in slots
+
+
+class TestFigure3OneCallPerInstruction:
+    """do_in_one performs every step of one instruction in one call."""
+
+    def test_entry_dispatches_to_specialized_body(self, one_all):
+        module = ast.parse(one_all.source)
+        entry = next(
+            node
+            for node in module.body
+            if isinstance(node, ast.FunctionDef) and node.name == "do_in_one"
+        )
+        source = ast.unparse(entry)
+        assert "_B[__op](self, di" in source  # decode-dispatched body
+        assert "IllegalInstruction" in source
+
+    def test_body_contains_all_semantic_steps_inline(self, one_all):
+        fn = body_of(one_all, "LDW")
+        text = ast.unparse(fn)
+        # operand decode, read, effective address, memory access, writeback
+        assert "src1_id" in text
+        assert "effective_addr = " in text
+        assert "__mem.read(effective_addr" in text
+        assert "R[dest1_id] = dest_val" in text
+        assert "__state.pc = next_pc" in text
+
+
+class TestFigure4HiddenFieldsBecomeLocals:
+    """Less informational detail: same semantics, locals not record fields."""
+
+    def test_min_body_computes_into_locals_only(self, one_min):
+        fn = body_of(one_min, "LDW")
+        # effective_addr still computed (semantically needed) but as a local
+        assert "effective_addr" in assigned_locals(fn)
+        assert "effective_addr" not in attribute_stores(fn)
+
+    def test_all_body_stores_to_record(self, one_all):
+        fn = body_of(one_all, "LDW")
+        stores = attribute_stores(fn)
+        assert {"effective_addr", "src1_val", "dest_val"} <= stores
+
+    def test_min_and_all_share_semantic_core(self, one_all, one_min):
+        """The single specification: identical semantics, different
+        interface plumbing."""
+        semantic = "dest_val = __mem.read(effective_addr, 8)"
+        assert semantic in ast.unparse(body_of(one_all, "LDW"))
+        assert semantic in ast.unparse(body_of(one_min, "LDW"))
+
+    def test_information_only_work_eliminated_at_min(self, one_all, one_min):
+        """JR never uses src2; at Min the read disappears entirely."""
+        assert "src2_val" in ast.unparse(body_of(one_all, "JR"))
+        assert "src2_val" not in ast.unparse(body_of(one_min, "JR"))
+
+
+class TestStepDetailShape:
+    def test_seven_entrypoints_generated(self, toy_spec):
+        generated = synthesize(toy_spec, "step_all")
+        assert len(generated.entry_names) == 7
+        module = ast.parse(generated.source)
+        names = {
+            node.name for node in module.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert set(generated.entry_names) <= names
+
+    def test_values_cross_steps_through_the_record(self, toy_spec):
+        generated = synthesize(toy_spec, "step_all")
+        # the memory step of LDW loads effective_addr computed earlier
+        spec = generated.plan.spec
+        index = next(
+            i for i, ins in enumerate(spec.instructions) if ins.name == "LDW"
+        )
+        memory_step = generated.source.split(f"def _sb_4_{index}(")[1].split(
+            "\ndef "
+        )[0]
+        assert "effective_addr = di.effective_addr" in memory_step
+
+
+class TestSpeculationShape:
+    def test_every_instruction_journals_exactly_once(self, toy_spec):
+        generated = synthesize(toy_spec, "one_all_spec")
+        module = ast.parse(generated.source)
+        bodies = [
+            node for node in module.body
+            if isinstance(node, ast.FunctionDef) and node.name.startswith("_b_")
+        ]
+        for fn in bodies:
+            text = ast.unparse(fn)
+            assert text.count("__state.journal.append(__j)") == 1
+            assert "__j = [('p', pc)]" in text

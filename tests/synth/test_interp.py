@@ -1,0 +1,82 @@
+"""Tests for the interpreted execution style (footnote 5 baseline)."""
+
+import pytest
+
+from repro.synth import SynthesisError, synthesize
+from repro.synth.interp import InterpretedSimulator
+
+from tests.synth import toyasm
+
+
+class TestInterpreter:
+    def test_runs_sum_loop(self, toy_spec):
+        sim = InterpretedSimulator(
+            toy_spec, "one_min", syscall_handler=toyasm.exit_handler()
+        )
+        toyasm.load_words(sim.state, toyasm.SUM_LOOP)
+        result = sim.run(10_000)
+        assert result.exited
+        assert result.exit_status == toyasm.SUM_LOOP_RESULT
+        assert result.executed == toyasm.SUM_LOOP_INSTRS
+
+    def test_matches_synthesized_state(self, toy_spec):
+        interp = InterpretedSimulator(
+            toy_spec, "one_all", syscall_handler=toyasm.exit_handler()
+        )
+        toyasm.load_words(interp.state, toyasm.SUM_LOOP)
+        interp.run(10_000)
+
+        gen = synthesize(toy_spec, "one_all")
+        sim = gen.make(syscall_handler=toyasm.exit_handler())
+        toyasm.load_words(sim.state, toyasm.SUM_LOOP)
+        sim.run(10_000)
+
+        assert interp.state.rf == sim.state.rf
+        assert dict(interp.state.mem.iter_nonzero_pages()) == dict(
+            sim.state.mem.iter_nonzero_pages()
+        )
+
+    def test_visible_fields_reported(self, toy_spec):
+        sim = InterpretedSimulator(toy_spec, "one_all")
+        toyasm.load_words(sim.state, [toyasm.addi(1, 0, 42)])
+        sim.step()
+        assert sim.di.dest_val == 42
+        assert sim.di.next_pc == 4
+
+    def test_rejects_non_one_buildsets(self, toy_spec):
+        with pytest.raises(SynthesisError):
+            InterpretedSimulator(toy_spec, "step_all")
+        with pytest.raises(SynthesisError):
+            InterpretedSimulator(toy_spec, "block_min")
+
+    def test_interpreter_is_slower_than_synthesized(self, toy_spec):
+        """Sanity: exec-per-instruction should not beat compiled bodies."""
+        import time
+
+        words = toyasm.SUM_LOOP
+        interp = InterpretedSimulator(
+            toy_spec, "one_min", syscall_handler=toyasm.exit_handler()
+        )
+        toyasm.load_words(interp.state, words)
+        gen = synthesize(toy_spec, "one_min")
+        sim = gen.make(syscall_handler=toyasm.exit_handler())
+        toyasm.load_words(sim.state, words)
+
+        def timed(target, reset):
+            best = float("inf")
+            for _ in range(3):
+                reset()
+                start = time.perf_counter()
+                target.run(10_000)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        def reset_interp():
+            interp.state.pc = 0
+            interp.state.rf["R"][:] = [0] * 32
+
+        def reset_sim():
+            sim.state.pc = 0
+            sim.state.rf["R"][:] = [0] * 32
+
+        assert timed(interp, reset_interp) > timed(sim, reset_sim) * 0.8

@@ -1,0 +1,129 @@
+"""Unit tests for the block translator's register cache and block shaping."""
+
+import ast
+
+import pytest
+
+from repro.synth import SynthOptions, synthesize
+from repro.synth.translator import RegisterCache
+
+from tests.synth import toyasm
+
+
+def parse(source):
+    return ast.parse(source).body
+
+
+def render(stmts):
+    return "\n".join(ast.unparse(s) for s in stmts)
+
+
+class TestRegisterCache:
+    def make(self):
+        return RegisterCache(frozenset({"R"}))
+
+    def test_first_read_inserts_load(self):
+        cache = self.make()
+        out = cache.transform(parse("x = R[3] + 1"))
+        assert render(out) == "__R_R_3 = R[3]\nx = __R_R_3 + 1"
+
+    def test_second_read_reuses_local(self):
+        cache = self.make()
+        out = cache.transform(parse("x = R[3]\ny = R[3]"))
+        assert render(out).count("R[3]") == 1
+
+    def test_write_dirties_without_store(self):
+        cache = self.make()
+        out = cache.transform(parse("R[4] = v"))
+        assert render(out) == "__R_R_4 = v"
+        assert ("R", 4) in cache.dirty
+
+    def test_flush_emits_stores_for_dirty_only(self):
+        cache = self.make()
+        cache.transform(parse("x = R[1]\nR[2] = x"))
+        flush = cache.flush()
+        assert render(flush) == "R[2] = __R_R_2"
+        assert not cache.dirty
+
+    def test_read_after_write_sees_new_value(self):
+        cache = self.make()
+        out = cache.transform(parse("R[5] = a\nz = R[5]"))
+        assert render(out) == "__R_R_5 = a\nz = __R_R_5"
+
+    def test_nonconstant_read_flushes_dirty(self):
+        cache = self.make()
+        out = cache.transform(parse("R[2] = a\nx = R[i]"))
+        text = render(out)
+        assert "R[2] = __R_R_2" in text  # flushed before dynamic access
+        assert "x = R[i]" in text
+
+    def test_nonconstant_write_invalidates(self):
+        cache = self.make()
+        cache.transform(parse("x = R[1]"))
+        cache.transform(parse("R[j] = 5"))
+        assert ("R", 1) not in cache.loaded
+
+    def test_if_hoists_loads_and_marks_dirty(self):
+        cache = self.make()
+        out = cache.transform(
+            parse("if c:\n    R[6] = R[7] + 1")
+        )
+        text = render(out)
+        # loads hoisted above the if so both paths have the locals
+        assert text.index("__R_R_7 = R[7]") < text.index("if c:")
+        assert text.index("__R_R_6 = R[6]") < text.index("if c:")
+        assert ("R", 6) in cache.dirty
+
+    def test_non_regfile_subscripts_untouched(self):
+        cache = self.make()
+        out = cache.transform(parse("x = other[3]"))
+        assert render(out) == "x = other[3]"
+
+
+class TestBlockShaping:
+    @pytest.fixture(scope="class")
+    def gen(self, toy_spec):
+        return synthesize(toy_spec, "block_min")
+
+    def test_fallthrough_blocks_chain_across_straightline_code(self, gen):
+        sim = gen.make()
+        toyasm.load_words(
+            sim.state,
+            [toyasm.addi(1, 0, 1)] * 5 + [toyasm.beq(0, 0, 0)],
+        )
+        sim.do_block(sim.di)
+        assert sim.di.count == 6  # all six in one translated block
+
+    def test_block_reuse_across_loop_iterations(self, gen):
+        sim = gen.make(syscall_handler=toyasm.exit_handler())
+        toyasm.load_words(sim.state, toyasm.SUM_LOOP)
+        sim.run(10_000)
+        # the loop body block was translated once, then replayed
+        assert len(sim._cache) <= 4
+
+    def test_constant_folding_embeds_immediates(self, gen):
+        sim = gen.make()
+        toyasm.load_words(sim.state, [toyasm.addi(1, 0, 42), toyasm.beq(0, 0, 0)])
+        source = sim.block_source(0)
+        assert "42" in source
+        assert "instr_bits" not in source  # decode fully resolved
+
+    def test_taken_branch_target_constant(self, gen):
+        sim = gen.make()
+        toyasm.load_words(sim.state, [toyasm.jal(3)])
+        source = sim.block_source(0)
+        # JAL target = 4 + 3*4 = 16, folded to a constant next_pc; the
+        # link-register write survives folding (it is architectural).
+        assert "next_pc = 16" in source
+        assert "lr = 4" in source
+        assert "__state.sr['lr'] = lr" in source
+
+    def test_syscall_ends_block_and_flushes_first(self, gen, toy_spec):
+        sim = gen.make()
+        toyasm.load_words(
+            sim.state, [toyasm.addi(1, 0, 5), toyasm.sys(), toyasm.addi(2, 0, 6)]
+        )
+        source = sim.block_source(0)
+        body = source.split("_do_syscall")[0]
+        assert "R[1] = " in body  # dirty register flushed before the trap
+        assert "di.count = 2" in source  # block ends at the syscall

@@ -1,0 +1,84 @@
+"""Tiny hand assembler for the toy test ISA."""
+
+from repro.arch.faults import ExitProgram
+
+
+def iform(op, ra, rb, imm):
+    return (op << 26) | (ra << 21) | (rb << 16) | (imm & 0xFFFF)
+
+
+def rform(op, ra, rb, rc=0):
+    return (op << 26) | (ra << 21) | (rb << 16) | (rc << 11)
+
+
+def addi(rd, rs, imm):
+    return iform(0x10, rs, rd, imm)
+
+
+def add(rd, ra, rb):
+    return rform(0x01, ra, rb, rd)
+
+
+def sub(rd, ra, rb):
+    return rform(0x02, ra, rb, rd)
+
+
+def mul(rd, ra, rb):
+    return rform(0x08, ra, rb, rd)
+
+
+def ldw(rd, ra, imm):
+    return iform(0x12, ra, rd, imm)
+
+
+def stw(rs, ra, imm):
+    return iform(0x13, ra, rs, imm)
+
+
+def beq(ra, rb, disp):
+    return iform(0x18, ra, rb, disp)
+
+
+def bne(ra, rb, disp):
+    return iform(0x19, ra, rb, disp)
+
+
+def jal(disp):
+    return iform(0x1A, 0, 0, disp)
+
+
+def jr(ra):
+    return rform(0x1B, ra, 0, 0)
+
+
+def sys():
+    return rform(0x3F, 0, 0, 0)
+
+
+def exit_handler(result_reg=3):
+    """Syscall handler raising ExitProgram with a register's value."""
+
+    def handler(state, di):
+        raise ExitProgram(int(state.rf["R"][result_reg]))
+
+    return handler
+
+
+def load_words(state, words, base=0):
+    for index, word in enumerate(words):
+        state.mem.write_u32(base + index * 4, word)
+
+
+# A program exercising ALU ops, memory, and a loop:
+# computes sum(1..10) into R3, stores it at 0x200, exits with it.
+SUM_LOOP = [
+    addi(1, 0, 10),     # 0x00: R1 = 10 (counter)
+    addi(3, 0, 0),      # 0x04: R3 = 0 (sum)
+    add(3, 3, 1),       # 0x08: loop: R3 += R1
+    addi(1, 1, -1),     # 0x0c: R1 -= 1
+    bne(1, 0, -3),      # 0x10: if R1 != 0 goto loop (0x08)
+    stw(3, 0, 0x200),   # 0x14: mem[0x200] = R3
+    sys(),              # 0x18: exit(R3)
+]
+SUM_LOOP_RESULT = 55
+SUM_LOOP_INSTRS = 2 + 3 * 10 + 2  # init + 10 iterations + store + sys

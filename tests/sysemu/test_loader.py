@@ -1,0 +1,52 @@
+"""Unit tests for program images and loading."""
+
+import pytest
+
+from repro.arch import ArchState, RegisterFileDef
+from repro.sysemu import ProgramImage, SyscallABI, load_image
+
+
+def make_state():
+    return ArchState(regfiles=[RegisterFileDef("R", 16, "u32")])
+
+
+ABI = SyscallABI(
+    regfile="R", number_reg=0, arg_regs=(1, 2, 3), ret_reg=0, stack_reg=13
+)
+
+
+class TestProgramImage:
+    def test_segments_and_size(self):
+        image = ProgramImage(entry=0x1000)
+        image.add_segment(0x1000, b"\x01\x02")
+        image.add_segment(0x2000, b"\x03")
+        assert image.size == 3
+
+    def test_symbol_lookup(self):
+        image = ProgramImage(entry=0, symbols={"main": 0x40})
+        assert image.symbol("main") == 0x40
+        with pytest.raises(KeyError, match="no symbol"):
+            image.symbol("nope")
+
+
+class TestLoadImage:
+    def test_loads_segments_and_entry(self):
+        image = ProgramImage(entry=0x1000)
+        image.add_segment(0x1000, b"\xAA\xBB")
+        state = make_state()
+        load_image(state, image, ABI, stack_top=0x9000)
+        assert state.pc == 0x1000
+        assert state.mem.read_u8(0x1000) == 0xAA
+        assert state.rf["R"][13] == 0x9000
+
+    def test_no_abi_no_stack(self):
+        image = ProgramImage(entry=0x20)
+        state = make_state()
+        load_image(state, image)
+        assert state.rf["R"][13] == 0
+
+    def test_stack_pointer_masked_to_width(self):
+        image = ProgramImage(entry=0)
+        state = make_state()
+        load_image(state, image, ABI, stack_top=0x1_2345_6789)
+        assert state.rf["R"][13] == 0x2345_6789

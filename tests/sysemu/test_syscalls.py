@@ -1,0 +1,110 @@
+"""Unit tests for the OS emulation layer."""
+
+import pytest
+
+from repro.arch import ArchState, ExitProgram, RegisterFileDef
+from repro.sysemu import (
+    SYS_BRK,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_READ,
+    SYS_TIME,
+    SYS_WRITE,
+    OSEmulator,
+    SyscallABI,
+)
+
+ABI = SyscallABI(
+    regfile="R", number_reg=0, arg_regs=(1, 2, 3), ret_reg=0,
+    error_reg=4, stack_reg=15,
+)
+
+
+def make_state():
+    return ArchState(regfiles=[RegisterFileDef("R", 16, "u64")])
+
+
+def call(os_emu, state, number, a0=0, a1=0, a2=0):
+    regs = state.rf["R"]
+    regs[0], regs[1], regs[2], regs[3] = number, a0, a1, a2
+    os_emu(state)
+    return regs[0], regs[4]
+
+
+class TestSyscalls:
+    def test_exit_raises(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        with pytest.raises(ExitProgram) as info:
+            call(os_emu, state, SYS_EXIT, 42)
+        assert info.value.status == 42
+
+    def test_exit_status_truncated_to_byte(self):
+        os_emu = OSEmulator(ABI)
+        with pytest.raises(ExitProgram) as info:
+            call(os_emu, make_state(), SYS_EXIT, 0x1FF)
+        assert info.value.status == 0xFF
+
+    def test_write_stdout(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        state.mem.write_bytes(0x100, b"hello")
+        ret, err = call(os_emu, state, SYS_WRITE, 1, 0x100, 5)
+        assert ret == 5 and err == 0
+        assert bytes(os_emu.stdout) == b"hello"
+
+    def test_write_stderr(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        state.mem.write_bytes(0x100, b"oops")
+        call(os_emu, state, SYS_WRITE, 2, 0x100, 4)
+        assert bytes(os_emu.stderr) == b"oops"
+
+    def test_write_bad_fd(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        ret, err = call(os_emu, state, SYS_WRITE, 7, 0x100, 4)
+        assert err == 1
+
+    def test_read_consumes_stdin(self):
+        os_emu = OSEmulator(ABI, stdin=b"abcdef")
+        state = make_state()
+        ret, err = call(os_emu, state, SYS_READ, 0, 0x200, 4)
+        assert ret == 4 and err == 0
+        assert state.mem.read_bytes(0x200, 4) == b"abcd"
+        ret, _ = call(os_emu, state, SYS_READ, 0, 0x300, 10)
+        assert ret == 2  # only "ef" left
+
+    def test_brk_tracks(self):
+        os_emu = OSEmulator(ABI, brk_base=0x100000)
+        state = make_state()
+        ret, _ = call(os_emu, state, SYS_BRK, 0)
+        assert ret == 0x100000
+        ret, _ = call(os_emu, state, SYS_BRK, 0x140000)
+        assert ret == 0x140000
+        ret, _ = call(os_emu, state, SYS_BRK, 0)
+        assert ret == 0x140000
+
+    def test_getpid(self):
+        ret, _ = call(OSEmulator(ABI), make_state(), SYS_GETPID)
+        assert ret == 1000
+
+    def test_time_monotone_deterministic(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        first, _ = call(os_emu, state, SYS_TIME)
+        second, _ = call(os_emu, state, SYS_TIME)
+        assert second == first + 1
+
+    def test_unknown_syscall_sets_error(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        ret, err = call(os_emu, state, 9999)
+        assert err == 1
+
+    def test_call_counts(self):
+        os_emu = OSEmulator(ABI)
+        state = make_state()
+        call(os_emu, state, SYS_GETPID)
+        call(os_emu, state, SYS_GETPID)
+        assert os_emu.call_counts[SYS_GETPID] == 2

@@ -1,0 +1,78 @@
+"""Unit tests for cache and branch-predictor timing components."""
+
+import pytest
+
+from repro.timing import BimodalPredictor, Cache
+from repro.timing.branch import AlwaysTakenPredictor
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("L1", size=1024, line=32, assoc=2, hit_latency=1,
+                      miss_penalty=10)
+        assert cache.access(0x100) == 11
+        assert cache.access(0x104) == 1  # same line
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = Cache("L1", size=64, line=32, assoc=2, hit_latency=1,
+                      miss_penalty=10)  # one set, two ways
+        cache.access(0x000)
+        cache.access(0x100)
+        cache.access(0x000)  # touch to make 0x100 LRU
+        cache.access(0x200)  # evicts 0x100
+        assert cache.access(0x000) == 1
+        assert cache.access(0x100) == 11
+
+    def test_two_levels(self):
+        l2 = Cache("L2", size=4096, line=32, assoc=4, hit_latency=5,
+                   miss_penalty=50)
+        l1 = Cache("L1", size=1024, line=32, assoc=2, hit_latency=1,
+                   next_level=l2)
+        assert l1.access(0x40) == 1 + 5 + 50  # miss everywhere
+        assert l1.access(0x40) == 1
+        l1.flush()
+        assert l1.access(0x40) == 1 + 5  # hits in L2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size=100, line=32, assoc=2)
+
+    def test_miss_rate(self):
+        cache = Cache("L1", size=1024, line=32, assoc=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+
+
+class TestBimodal:
+    def test_learns_taken_loop(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(10):
+            predictor.update(0x40, True)
+        assert predictor.predict(0x40)
+        assert predictor.stats.accuracy > 0.7
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(10):
+            predictor.update(0x40, False)
+        assert not predictor.predict(0x40)
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(5):
+            predictor.update(0x40, True)
+        predictor.update(0x40, False)  # single anomaly
+        assert predictor.predict(0x40)  # still predicts taken
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0)
+        predictor.update(0, False)
+        assert predictor.stats.mispredicted == 1

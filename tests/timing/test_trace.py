@@ -1,0 +1,108 @@
+"""Tests for stored-trace capture and replay (paper §II-B)."""
+
+import io
+
+import pytest
+
+from repro.isa.base import get_bundle
+from repro.synth import synthesize
+from repro.sysemu import OSEmulator, load_image
+from repro.timing.pipeline import InOrderPipelineModel
+from repro.timing.trace import TraceReader, TraceWriter, replay_into
+from repro.timing.functional_first import FunctionalFirstSimulator
+from repro.workloads import SUITE, assemble_kernel
+
+ISA = "alpha"
+KERNEL = SUITE["sieve"]
+
+_GEN = {}
+
+
+def gen(buildset):
+    if buildset not in _GEN:
+        _GEN[buildset] = synthesize(get_bundle(ISA).load_spec(), buildset)
+    return _GEN[buildset]
+
+
+@pytest.fixture()
+def captured_trace():
+    bundle = get_bundle(ISA)
+    writer = TraceWriter(gen("block_decode"), OSEmulator(bundle.abi))
+    image = assemble_kernel(ISA, KERNEL, KERNEL.test_n)
+    load_image(writer.state, image, bundle.abi)
+    stream = io.StringIO()
+    captured = writer.capture(stream, 10_000_000)
+    stream.seek(0)
+    return stream, captured
+
+
+class TestCapture:
+    def test_captures_all_instructions(self, captured_trace):
+        stream, captured = captured_trace
+        reader = TraceReader(stream)
+        records = list(reader)
+        assert len(records) == captured
+        assert reader.exit_status is not None
+
+    def test_header(self, captured_trace):
+        stream, _ = captured_trace
+        reader = TraceReader(stream)
+        assert reader.header.isa == "alpha"
+        assert reader.header.interface == "block_decode"
+        assert "pc" in reader.header.fields
+        assert "effective_addr" in reader.header.fields
+
+    def test_records_are_sane(self, captured_trace):
+        stream, _ = captured_trace
+        records = list(TraceReader(stream))
+        first = records[0]
+        assert first["pc"] == 0x1000
+        assert first["next_pc"] in (0x1004, first["pc"] + 4)
+        loads = [r for r in records if r["effective_addr"] is not None]
+        assert loads, "sieve performs memory accesses"
+
+    def test_requires_block_interface(self):
+        with pytest.raises(ValueError, match="Block"):
+            TraceWriter(gen("one_all"))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="trace"):
+            TraceReader(io.StringIO("nope\n"))
+
+
+class TestReplay:
+    def test_replay_matches_live_timing(self, captured_trace):
+        """Feeding the stored trace into the pipeline model must produce
+        exactly the cycles a live functional-first run produces."""
+        stream, _ = captured_trace
+        bundle = get_bundle(ISA)
+        spec = bundle.load_spec()
+
+        live = FunctionalFirstSimulator(
+            gen("block_decode"), syscall_handler=OSEmulator(bundle.abi)
+        )
+        image = assemble_kernel(ISA, KERNEL, KERNEL.test_n)
+        load_image(live.state, image, bundle.abi)
+        live_report = live.run(10_000_000)
+
+        replay_model = InOrderPipelineModel(spec)
+        replay_into(TraceReader(stream), replay_model)
+        assert replay_model.instructions == live_report.instructions
+        assert replay_model.cycles == live_report.cycles
+
+    def test_one_trace_many_timing_models(self, captured_trace):
+        """The paper's parallel-consumption use case: one stored stream,
+        several differently-configured timing simulators."""
+        stream, _ = captured_trace
+        spec = get_bundle(ISA).load_spec()
+        from repro.timing.cache import Cache
+
+        text = stream.getvalue()
+        cycles = []
+        for size in (128, 8 * 1024):
+            icache = Cache("I1", size=size, line=32, assoc=2, miss_penalty=20)
+            dcache = Cache("D1", size=size, line=32, assoc=2, miss_penalty=20)
+            model = InOrderPipelineModel(spec, icache, dcache)
+            replay_into(TraceReader(io.StringIO(text)), model)
+            cycles.append(model.cycles)
+        assert cycles[0] > cycles[1]  # smaller caches -> more stall cycles
