@@ -6,6 +6,7 @@ printed and also written to ``benchmarks/_results/`` so EXPERIMENTS.md
 can reference a stable artifact.
 """
 
+import json
 import os
 
 import pytest
@@ -43,3 +44,21 @@ def publish(results_dir):
             handle.write(text + "\n")
 
     return _publish
+
+
+@pytest.fixture(scope="session")
+def publish_json(results_dir):
+    """Persist an experiment's raw measurements as BENCH_<exp_id>.json.
+
+    The rendered .txt tables are for humans; these documents are for
+    scripts (regression tracking, plotting) and mirror the same numbers
+    before any rounding-for-display.
+    """
+
+    def _publish_json(exp_id: str, payload: dict) -> None:
+        path = os.path.join(results_dir, f"BENCH_{exp_id}.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    return _publish_json

@@ -14,7 +14,7 @@ from repro.harness.hostops import hostops_per_instruction
 from repro.synth import SynthOptions
 
 
-def test_dce_ablation(benchmark, publish):
+def test_dce_ablation(benchmark, publish, publish_json):
     def measure():
         out = {}
         for buildset in ("block_min", "one_min"):
@@ -29,6 +29,27 @@ def test_dce_ablation(benchmark, publish):
         return out
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    publish_json(
+        "A1",
+        {
+            "experiment": "ablation_dce",
+            "unit": "host ops/instr (hostops) and geomean MIPS (mips)",
+            "hostops": {
+                "block_min": {
+                    "dce_on": results[("block_min", True)],
+                    "dce_off": results[("block_min", False)],
+                },
+                "one_min": {
+                    "dce_on": results[("one_min", True)],
+                    "dce_off": results[("one_min", False)],
+                },
+            },
+            "mips": {
+                "block_min_dce_on": results["mips_on"],
+                "block_min_dce_off": results["mips_off"],
+            },
+        },
+    )
     rows = [
         ["block_min", "on", round(results[("block_min", True)], 1)],
         ["block_min", "off", round(results[("block_min", False)], 1)],

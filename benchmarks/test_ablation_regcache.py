@@ -13,7 +13,7 @@ from repro.harness.hostops import hostops_per_instruction
 from repro.synth import SynthOptions
 
 
-def test_regcache_ablation(benchmark, publish):
+def test_regcache_ablation(benchmark, publish, publish_json):
     def measure():
         return {
             "ops_on": hostops_per_instruction("alpha", "block_min"),
@@ -28,6 +28,15 @@ def test_regcache_ablation(benchmark, publish):
         }
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    publish_json(
+        "A2",
+        {
+            "experiment": "ablation_regcache",
+            "unit": "host ops/instr (hostops) and geomean MIPS (mips)",
+            "hostops": {"on": results["ops_on"], "off": results["ops_off"]},
+            "mips": {"on": results["mips_on"], "off": results["mips_off"]},
+        },
+    )
     rows = [
         ["on", round(results["ops_on"], 1), round(results["mips_on"], 3)],
         ["off", round(results["ops_off"], 1), round(results["mips_off"], 3)],

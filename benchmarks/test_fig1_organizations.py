@@ -75,8 +75,25 @@ def _run_all():
     return reports, expected, image
 
 
-def test_fig1_all_organizations(benchmark, publish):
+def test_fig1_all_organizations(benchmark, publish, publish_json):
     reports, expected, image = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    publish_json(
+        "F1",
+        {
+            "experiment": "fig1_organizations",
+            "kernel": "checksum",
+            "organizations": {
+                report.organization: {
+                    "interface": interface,
+                    "instructions": report.instructions,
+                    "cycles": report.cycles,
+                    "mismatches": report.mismatches,
+                    "rollbacks": report.rollbacks,
+                }
+                for report, _, interface in reports
+            },
+        },
+    )
     rows = []
     for report, state, interface in reports:
         value = state.mem.read_u32(image.symbol("result"))

@@ -11,7 +11,7 @@ DCE, same visibility) and the Block/Min translator.
 from repro.harness import measure_buildset, measure_interpreter, render_table
 
 
-def test_footnote5(benchmark, publish):
+def test_footnote5(benchmark, publish, publish_json):
     def measure():
         interp = measure_interpreter("alpha", "one_min")
         compiled = measure_buildset("alpha", "one_min")
@@ -20,6 +20,18 @@ def test_footnote5(benchmark, publish):
 
     interp, compiled, translated = benchmark.pedantic(
         measure, rounds=1, iterations=1
+    )
+    publish_json(
+        "FN5",
+        {
+            "experiment": "footnote5_interpreted",
+            "unit": "geomean MIPS over the kernel suite (Alpha)",
+            "mips": {
+                "interpreted_one_min": interp.mips,
+                "compiled_one_min": compiled.mips,
+                "translated_block_min": translated.mips,
+            },
+        },
     )
     rows = [
         ["interpreted (exec-dispatch), One/Min", round(interp.mips, 3)],

@@ -53,13 +53,31 @@ def _measure():
     return detailed_report, detailed_elapsed, sampling_report
 
 
-def test_sampling_speedup(benchmark, publish):
+def test_sampling_speedup(benchmark, publish, publish_json):
     detailed_report, detailed_elapsed, sampling_report = benchmark.pedantic(
         _measure, rounds=1, iterations=1
     )
     speedup = detailed_elapsed / sampling_report.elapsed
     detailed_cpi = detailed_report.cpi
     sampled_cpi = sampling_report.estimated_cpi
+    publish_json(
+        "A3",
+        {
+            "experiment": "sampling_fastforward",
+            "kernel": "checksum",
+            "detailed": {
+                "instructions": detailed_report.instructions,
+                "seconds": detailed_elapsed,
+                "cpi": detailed_cpi,
+            },
+            "sampling": {
+                "instructions": sampling_report.instructions,
+                "seconds": sampling_report.elapsed,
+                "cpi_estimate": sampled_cpi,
+            },
+            "speedup": speedup,
+        },
+    )
     rows = [
         ["detailed everywhere (Step/All)", detailed_report.instructions,
          round(detailed_elapsed, 3), round(detailed_cpi, 3)],

@@ -13,8 +13,26 @@ from repro.harness import render_table, table1
 from conftest import ISAS
 
 
-def test_table1(benchmark, publish):
+def test_table1(benchmark, publish, publish_json):
     rows_source = benchmark.pedantic(table1, args=(ISAS,), rounds=1, iterations=1)
+    publish_json(
+        "T1",
+        {
+            "experiment": "table1_isa_characteristics",
+            "unit": "ADL lines excluding comments/blanks",
+            "isas": {
+                c.isa: {
+                    "isa_description_lines": c.isa_description_lines,
+                    "os_support_lines": c.os_support_lines,
+                    "buildset_lines": c.buildset_lines,
+                    "buildsets": c.buildsets,
+                    "lines_per_buildset": c.lines_per_buildset,
+                    "instructions": c.instructions,
+                }
+                for c in rows_source
+            },
+        },
+    )
     rows = [
         [
             c.isa,

@@ -38,7 +38,7 @@ def ordered(isa: str, faster: str, slower: str, slack: float = 1.0) -> bool:
     return again_fast > again_slow * slack
 
 
-def test_table2_measure(benchmark, publish):
+def test_table2_measure(benchmark, publish, publish_json):
     grid = benchmark.pedantic(
         table2, kwargs={"isas": ISAS}, rounds=1, iterations=1
     )
@@ -49,6 +49,18 @@ def test_table2_measure(benchmark, publish):
         for isa in ISAS:
             row.append(round(grid[(buildset, isa)].mips, 3))
         rows.append(row)
+    publish_json(
+        "T2",
+        {
+            "experiment": "table2_simulation_speed",
+            "unit": "geomean MIPS over the kernel suite",
+            "scale": bench_scale(),
+            "mips": {
+                buildset: {isa: grid[(buildset, isa)].mips for isa in ISAS}
+                for buildset, *_ in INTERFACE_GRID
+            },
+        },
+    )
     publish(
         "table2_simulation_speed",
         render_table(

@@ -17,7 +17,7 @@ from conftest import ISAS
 _COLUMNS = {}
 
 
-def test_table3_measure(benchmark, publish):
+def test_table3_measure(benchmark, publish, publish_json):
     columns = benchmark.pedantic(
         lambda: [CostsOfDetail.measure(isa) for isa in ISAS],
         rounds=1,
@@ -25,6 +25,24 @@ def test_table3_measure(benchmark, publish):
     )
     for column in columns:
         _COLUMNS[column.isa] = column
+    publish_json(
+        "T3",
+        {
+            "experiment": "table3_costs_of_detail",
+            "unit": "executed Python bytecode ops per simulated instruction",
+            "costs": {
+                c.isa: {
+                    "base": c.base,
+                    "incr_decode_info": c.incr_decode_info,
+                    "incr_full_info": c.incr_full_info,
+                    "incr_block_call": c.incr_block_call,
+                    "incr_multiple_calls": c.incr_multiple_calls,
+                    "incr_speculation": c.incr_speculation,
+                }
+                for c in columns
+            },
+        },
+    )
     rows = [
         ["Base cost for instruction"] + [round(c.base, 1) for c in columns],
         ["Incremental cost of decode information"]

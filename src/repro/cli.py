@@ -6,14 +6,18 @@
     python -m repro interfaces alpha              # list buildsets + detail
     python -m repro run alpha prog.s              # assemble + run a program
     python -m repro run alpha prog.s --buildset block_min --max 1000000
+    python -m repro run alpha prog.s --stats      # + observability report
     python -m repro kernels alpha one_min         # run the kernel suite
+    python -m repro kernels alpha block_min --stats=json   # scriptable
+    python -m repro stats alpha block_min         # observability report
     python -m repro disasm alpha prog.s           # assemble + disassemble
-    python -m repro table1                        # Table I analogue
+    python -m repro table1 [--json]               # Table I analogue
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness.loc import table1
@@ -21,7 +25,15 @@ from repro.harness.tables import render_table
 from repro.iface import InformationalDetail, SemanticDetail
 from repro.isa.base import available_isas, get_bundle
 from repro.isa.disasm import Disassembler
-from repro.synth import synthesize
+from repro.obs import (
+    collect,
+    make_observability,
+    record_generated_stats,
+    record_sim_stats,
+    render_json,
+    render_text,
+)
+from repro.synth import SynthOptions, synthesize
 from repro.sysemu import OSEmulator, load_image
 from repro.workloads import kernel_names, run_kernel
 
@@ -65,11 +77,27 @@ def _load_program(args):
     return bundle, image
 
 
+def _stats_setup(stats_mode):
+    """(SynthOptions, Observability) for a --stats mode (None = off)."""
+    if not stats_mode:
+        return None, None
+    return SynthOptions(observe=True), make_observability()
+
+
+def _print_stats(stats: dict, mode: str) -> None:
+    print(render_json(stats) if mode == "json" else render_text(stats))
+
+
 def _cmd_run(args) -> int:
     bundle, image = _load_program(args)
-    generated = synthesize(bundle.load_spec(), args.buildset)
-    os_emu = OSEmulator(bundle.abi, stdin=sys.stdin.buffer.read() if args.stdin else b"")
-    sim = generated.make(syscall_handler=os_emu)
+    options, obs = _stats_setup(args.stats)
+    generated = synthesize(bundle.load_spec(), args.buildset, options)
+    os_emu = OSEmulator(
+        bundle.abi,
+        stdin=sys.stdin.buffer.read() if args.stdin else b"",
+        obs=obs,
+    )
+    sim = generated.make(syscall_handler=os_emu, obs=obs)
     load_image(sim.state, image, bundle.abi)
     result = sim.run(args.max)
     sys.stdout.write(bytes(os_emu.stdout).decode("latin-1"))
@@ -80,6 +108,19 @@ def _cmd_run(args) -> int:
         + (f"exit status {result.exit_status}" if result.exited
            else "instruction budget exhausted")
     )
+    if obs is not None:
+        record_generated_stats(obs, generated)
+        record_sim_stats(obs, sim)
+        obs.counters.inc("run.instructions", result.executed)
+        stats = collect(obs)
+        stats["run"] = {
+            "isa": args.isa,
+            "buildset": args.buildset,
+            "executed": result.executed,
+            "exited": result.exited,
+            "exit_status": result.exit_status,
+        }
+        _print_stats(stats, args.stats)
     return (result.exit_status or 0) if result.exited else 2
 
 
@@ -96,22 +137,60 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
-def _cmd_kernels(args) -> int:
-    generated = synthesize(get_bundle(args.isa).load_spec(), args.buildset)
-    rows = []
+def _run_kernel_suite(isa: str, buildset: str, stats_mode, kernels=None):
+    """Run the kernel suite; returns (records, failures, stats-or-None)."""
+    options, obs = _stats_setup(stats_mode)
+    generated = synthesize(get_bundle(isa).load_spec(), buildset, options)
+    records = []
     failures = 0
-    for name in kernel_names():
-        run = run_kernel(generated, args.isa, name)
-        rows.append(
-            [
-                name,
-                run.executed,
-                f"{run.result:#x}",
-                "ok" if run.correct else "WRONG",
-                f"{run.executed / max(run.elapsed, 1e-9) / 1e6:.2f}",
-            ]
+    for name in kernels if kernels else kernel_names():
+        run = run_kernel(generated, isa, name, obs=obs)
+        records.append(
+            {
+                "kernel": name,
+                "instructions": run.executed,
+                "result": run.result,
+                "correct": run.correct,
+                "mips": run.executed / max(run.elapsed, 1e-9) / 1e6,
+            }
         )
         failures += 0 if run.correct else 1
+    stats = None
+    if obs is not None:
+        record_generated_stats(obs, generated)
+        stats = collect(obs)
+    return records, failures, stats
+
+
+def _cmd_kernels(args) -> int:
+    stats_mode = args.stats
+    records, failures, stats = _run_kernel_suite(
+        args.isa, args.buildset, stats_mode
+    )
+    as_json = args.json or stats_mode == "json"
+    if as_json:
+        doc = {
+            "isa": args.isa,
+            "buildset": args.buildset,
+            "kernels": [
+                {**r, "mips": round(r["mips"], 3)} for r in records
+            ],
+            "failures": failures,
+        }
+        if stats is not None:
+            doc["stats"] = stats
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if failures else 0
+    rows = [
+        [
+            r["kernel"],
+            r["instructions"],
+            f"{r['result']:#x}",
+            "ok" if r["correct"] else "WRONG",
+            f"{r['mips']:.2f}",
+        ]
+        for r in records
+    ]
     print(
         render_table(
             f"Kernel suite on {args.isa}/{args.buildset}",
@@ -119,10 +198,65 @@ def _cmd_kernels(args) -> int:
             rows,
         )
     )
+    if stats is not None:
+        _print_stats(stats, stats_mode)
     return 1 if failures else 0
 
 
-def _cmd_table1(_args) -> int:
+def _cmd_stats(args) -> int:
+    """Observability-first entrypoint: run kernels, print the report."""
+    kernels = args.kernel or None
+    records, failures, stats = _run_kernel_suite(
+        args.isa, args.buildset, "json" if args.json else "text", kernels
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "isa": args.isa,
+                    "buildset": args.buildset,
+                    "kernels": [
+                        {**r, "mips": round(r["mips"], 3)} for r in records
+                    ],
+                    "failures": failures,
+                    "stats": stats,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if failures else 0
+    executed = sum(r["instructions"] for r in records)
+    print(
+        f"[{args.isa}/{args.buildset}] {len(records)} kernels, "
+        f"{executed} instructions, {failures} failures"
+    )
+    _print_stats(stats, "text")
+    return 1 if failures else 0
+
+
+def _cmd_table1(args) -> int:
+    characteristics = table1()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "isa": c.isa,
+                        "isa_description_lines": c.isa_description_lines,
+                        "os_support_lines": c.os_support_lines,
+                        "buildset_lines": c.buildset_lines,
+                        "buildsets": c.buildsets,
+                        "lines_per_buildset": round(c.lines_per_buildset, 2),
+                        "instructions": c.instructions,
+                    }
+                    for c in characteristics
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     rows = [
         [
             c.isa,
@@ -133,7 +267,7 @@ def _cmd_table1(_args) -> int:
             round(c.lines_per_buildset, 1),
             c.instructions,
         ]
-        for c in table1()
+        for c in characteristics
     ]
     print(
         render_table(
@@ -159,6 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_ifaces = sub.add_parser("interfaces", help="list an ISA's buildsets")
     p_ifaces.add_argument("isa", choices=available_isas())
 
+    def add_stats_flag(p):
+        p.add_argument(
+            "--stats",
+            nargs="?",
+            const="text",
+            choices=("text", "json"),
+            default=None,
+            help="synthesize with observability and report statistics "
+            "(--stats or --stats=json)",
+        )
+
     p_run = sub.add_parser("run", help="assemble and run a guest program")
     p_run.add_argument("isa", choices=available_isas())
     p_run.add_argument("program", help="assembly source file")
@@ -167,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max", type=int, default=100_000_000)
     p_run.add_argument("--stdin", action="store_true",
                        help="pass host stdin to the guest")
+    add_stats_flag(p_run)
 
     p_dis = sub.add_parser("disasm", help="assemble and disassemble a program")
     p_dis.add_argument("isa", choices=available_isas())
@@ -176,8 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_kern = sub.add_parser("kernels", help="run the benchmark kernel suite")
     p_kern.add_argument("isa", choices=available_isas())
     p_kern.add_argument("buildset", nargs="?", default="one_min")
+    p_kern.add_argument("--json", action="store_true",
+                        help="emit results as JSON instead of a table")
+    add_stats_flag(p_kern)
 
-    sub.add_parser("table1", help="print the Table I analogue")
+    p_stats = sub.add_parser(
+        "stats",
+        help="run kernels with observability enabled, print the stats report",
+    )
+    p_stats.add_argument("isa", choices=available_isas())
+    p_stats.add_argument("buildset", nargs="?", default="block_min")
+    p_stats.add_argument(
+        "--kernel",
+        action="append",
+        choices=kernel_names(),
+        help="restrict to one kernel (repeatable); default: the whole suite",
+    )
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+
+    p_t1 = sub.add_parser("table1", help="print the Table I analogue")
+    p_t1.add_argument("--json", action="store_true",
+                      help="emit the table as JSON")
     return parser
 
 
@@ -187,6 +353,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "disasm": _cmd_disasm,
     "kernels": _cmd_kernels,
+    "stats": _cmd_stats,
     "table1": _cmd_table1,
 }
 

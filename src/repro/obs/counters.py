@@ -1,0 +1,112 @@
+"""Hierarchical named counters.
+
+Counter names are dotted paths (``code_cache.hits``,
+``syscall.write``); the flat dict is the storage, the hierarchy is a
+rendering (:meth:`Counters.as_tree`).  :class:`NullCounters` is the
+disabled twin: every mutator is a no-op, every reader sees emptiness.
+Code that may run with observability off should either hold a
+:class:`NullCounters` (cold paths — a dynamically-dead method call) or
+be synthesized without the probe entirely (hot paths — see
+:mod:`repro.synth.codegen`).
+"""
+
+from __future__ import annotations
+
+
+class Counters:
+    """Mutable dotted-name counter store."""
+
+    __slots__ = ("_data",)
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._data: dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        data = self._data
+        data[name] = data.get(name, 0) + amount
+
+    def put(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value (gauge semantics)."""
+        self._data[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._data.get(name, default)
+
+    def items(self) -> list[tuple[str, int]]:
+        """All counters sorted by name."""
+        return sorted(self._data.items())
+
+    def as_tree(self) -> dict:
+        """The counters as a nested dict keyed by dotted-path segments.
+
+        A name that is both a leaf and a prefix of longer names keeps its
+        own value under the reserved key ``"total"``.
+        """
+        tree: dict = {}
+        for name, value in self.items():
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                nxt = node.setdefault(part, {})
+                if not isinstance(nxt, dict):
+                    nxt = node[part] = {"total": nxt}
+                node = nxt
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf]["total"] = value
+            else:
+                node[leaf] = value
+        return tree
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one (summing)."""
+        for name, value in other.items():
+            self.inc(name, value)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counters {len(self._data)} names>"
+
+
+class NullCounters:
+    """Disabled counters: accepts every call, records nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def put(self, name: str, value: int) -> None:
+        pass
+
+    def get(self, name: str, default: int = 0) -> int:
+        return default
+
+    def items(self) -> list[tuple[str, int]]:
+        return []
+
+    def as_tree(self) -> dict:
+        return {}
+
+    def merge(self, other) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared no-op instance (NullCounters is stateless, one is enough)
+NULL_COUNTERS = NullCounters()

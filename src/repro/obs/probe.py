@@ -1,0 +1,69 @@
+"""The instrumentation facade threaded through every layer.
+
+One :class:`Observability` instance is shared by a simulator, its OS
+emulator and any timing organization wrapped around it, so a whole run
+aggregates into one counter set and one event ring.  ``NULL_OBS`` is the
+single shared disabled instance; layers accept ``obs=None`` and
+substitute it, then branch **once** (at construction or synthesis time)
+on ``obs.enabled`` to select their unobserved fast paths.
+
+Probe points in the stack (see docs/observability.md for the catalog):
+
+===========================  ==================================================
+layer                        probes
+===========================  ==================================================
+synth/codegen (generated)    per-entrypoint invocation counts (``_obs_ep``),
+                             DCE-eliminated statement counts (static metadata)
+synth/translator             block translation time/length, per-block DCE,
+                             code-cache hit/miss/evict/flush
+synth/runtime                counted ``do_block`` path, cache-flush events
+sysemu/syscalls              per-syscall counters + trap events
+timing/*                     cache and predictor stats, mismatch events,
+                             rollback depth histogram
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.events import NULL_EVENTS, EventRing
+
+
+class Observability:
+    """Live counters + event ring shared across one run's components."""
+
+    __slots__ = ("counters", "events")
+
+    enabled = True
+
+    def __init__(self, ring_capacity: int = 4096) -> None:
+        self.counters = Counters()
+        self.events = EventRing(ring_capacity)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.events.clear()
+
+
+class _NullObservability:
+    """Disabled facade: null counters, null events, ``enabled = False``."""
+
+    __slots__ = ("counters", "events")
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.counters = NULL_COUNTERS
+        self.events = NULL_EVENTS
+
+    def clear(self) -> None:
+        pass
+
+
+#: the shared disabled instance every layer defaults to
+NULL_OBS = _NullObservability()
+
+
+def make_observability(enabled: bool = True, ring_capacity: int = 4096):
+    """An :class:`Observability` when enabled, else the shared null."""
+    return Observability(ring_capacity) if enabled else NULL_OBS

@@ -30,12 +30,17 @@ from repro.synth.rewrite import RewriteContext, rewrite_stmts
 
 @dataclass(frozen=True)
 class SynthOptions:
-    """Knobs used by the ablation benchmarks."""
+    """Knobs used by the ablation benchmarks and the observability layer."""
 
     dce: bool = True
     regcache: bool = True
     profile: bool = False
     max_block: int = 32
+    #: emit observability probes (per-entrypoint counters) into generated
+    #: code; off by default so the disabled path carries zero extra bytecode
+    observe: bool = False
+    #: maximum translated blocks kept in the code cache (None = unbounded)
+    cache_limit: int | None = None
 
 
 @dataclass
@@ -56,6 +61,9 @@ class BuildPlan:
     ep_of_action: dict[str, int] = dc_field(default_factory=dict)
     #: canonical order of visible fields (trace record layout)
     trace_fields: tuple[str, ...] = ()
+    #: static observability metadata: per-action [total, eliminated]
+    #: statement counts accumulated while generating this plan's module
+    dce_stats: dict[str, list[int]] = dc_field(default_factory=dict)
 
     @property
     def pure_names(self) -> frozenset[str]:
@@ -229,7 +237,30 @@ def optimize_stmts(
     """Apply (optional) dead-code elimination."""
     if not plan.options.dce:
         return stmts
-    return eliminate_dead(stmts, live_out, plan.pure_names)
+    kept = eliminate_dead(stmts, live_out, plan.pure_names)
+    record_dce_stats(plan, stmts, kept)
+    return kept
+
+
+def record_dce_stats(
+    plan: BuildPlan, full: list[TaggedStmt], kept: list[TaggedStmt]
+) -> None:
+    """Accumulate per-action statement/eliminated counts on the plan.
+
+    This is the "DCE-eliminated action counts emitted as static
+    metadata" observability feed: it costs nothing at run time because
+    it is computed once, during generation.
+    """
+    kept_per_action: dict[str, int] = {}
+    for tagged in kept:
+        kept_per_action[tagged.action] = kept_per_action.get(tagged.action, 0) + 1
+    totals: dict[str, int] = {}
+    for tagged in full:
+        totals[tagged.action] = totals.get(tagged.action, 0) + 1
+    for action, total in totals.items():
+        entry = plan.dce_stats.setdefault(action, [0, 0])
+        entry[0] += total
+        entry[1] += total - kept_per_action.get(action, 0)
 
 
 def _definitely_assigned_walk(
@@ -434,6 +465,8 @@ def generate_one_module(plan: BuildPlan) -> str:
     # Entry function.
     writer.line(f"def {entry.name}(self, di):")
     writer.indent()
+    if plan.options.observe:
+        writer.line(f"self._obs_ep[{entry.name!r}] += 1")
     writer.line("__state = self.state")
     pre = predecode_stmts(plan)
     ctx = RewriteContext(
@@ -572,6 +605,8 @@ def generate_step_module(plan: BuildPlan) -> str:
     for ep_index, ep in enumerate(buildset.entrypoints):
         writer.line(f"def {ep.name}(self, di):")
         writer.indent()
+        if plan.options.observe:
+            writer.line(f"self._obs_ep[{ep.name!r}] += 1")
         if plan.options.profile:
             writer.line(f"self._hops += __EP_COST_{ep_index}__")
         if ep_index < plan.decode_ep_index:

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from repro.arch.faults import ExitProgram
 from repro.arch.memory import Memory
 from repro.arch.state import ArchState
+from repro.obs.events import CACHE_EVICT, CACHE_FLUSH
+from repro.obs.probe import NULL_OBS
 from repro.synth.errors import SynthesisError
 
 
@@ -63,6 +65,7 @@ class SynthesizedSimulator:
         generated,
         state: ArchState | None = None,
         syscall_handler=None,
+        obs=None,
     ) -> None:
         self.generated = generated
         self.plan = generated.plan
@@ -72,7 +75,12 @@ class SynthesizedSimulator:
         self.module_namespace = generated.namespace
         self.syscall_handler = syscall_handler
         self._hops = 0
+        self.obs = obs if obs is not None else NULL_OBS
         self.entry_names = generated.entry_names
+        #: per-entrypoint invocation counts, incremented only by probes
+        #: that exist when the module was synthesized with observe=True
+        #: (or by the observed do_block path)
+        self._obs_ep = {name: 0 for name in generated.entry_names}
         for name in generated.entry_names:
             fn = generated.namespace.get(name)
             if fn is not None:
@@ -82,7 +90,11 @@ class SynthesizedSimulator:
         if self.buildset.semantic_detail == "block":
             from repro.synth.translator import BlockTranslator
 
-            self._translator = BlockTranslator(self.plan)
+            self._translator = BlockTranslator(self.plan, obs=self.obs)
+            if self.obs.enabled or self.plan.options.cache_limit is not None:
+                # Select the counting/evicting lookup once, here, so the
+                # default path keeps its original (probe-free) bytecode.
+                self.do_block = self._do_block_observed
         if self.plan.options.profile:
             profiled = ProfilingMemory(
                 self.spec.endian, self, generated.mem_read_cost,
@@ -117,8 +129,40 @@ class SynthesizedSimulator:
             self._cache[pc] = fn
         fn(self, di)
 
+    def _do_block_observed(self, di) -> None:
+        """Counting/evicting variant of :meth:`do_block`.
+
+        Bound over ``do_block`` at construction time when observability
+        is enabled or a code-cache capacity limit is configured, so the
+        default path never pays for either.
+        """
+        pc = self.state.pc
+        cache = self._cache
+        fn = cache.get(pc)
+        stats = self._translator.cache_stats
+        if fn is None:
+            stats.misses += 1
+            fn = self._translator.translate(self, pc)
+            limit = self.plan.options.cache_limit
+            if limit is not None and len(cache) >= limit:
+                victim = next(iter(cache))
+                del cache[victim]
+                stats.evictions += 1
+                self.obs.events.emit(CACHE_EVICT, pc=victim)
+            cache[pc] = fn
+            stats.blocks = len(cache)
+        else:
+            stats.hits += 1
+        self._obs_ep["do_block"] += 1
+        fn(self, di)
+
     def flush_code_cache(self) -> None:
         """Drop every translated block (e.g. after loading new code)."""
+        if self._translator is not None:
+            stats = self._translator.cache_stats
+            stats.flushes += 1
+            stats.blocks = 0
+            self.obs.events.emit(CACHE_FLUSH, dropped=len(self._cache))
         self._cache.clear()
 
     def block_source(self, pc: int) -> str:

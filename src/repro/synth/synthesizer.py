@@ -47,9 +47,16 @@ class GeneratedSimulator:
     mem_read_cost: int = 0
     mem_write_cost: int = 0
 
-    def make(self, state=None, syscall_handler=None) -> SynthesizedSimulator:
-        """Instantiate a runnable simulator."""
-        return SynthesizedSimulator(self, state, syscall_handler)
+    def make(
+        self, state=None, syscall_handler=None, obs=None
+    ) -> SynthesizedSimulator:
+        """Instantiate a runnable simulator.
+
+        ``obs`` is an :class:`repro.obs.Observability` to aggregate this
+        instance's runtime statistics into; omit it (the default null
+        instance) for zero-overhead execution.
+        """
+        return SynthesizedSimulator(self, state, syscall_handler, obs)
 
     @property
     def spec(self) -> IsaSpec:

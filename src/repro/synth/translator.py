@@ -23,10 +23,14 @@ Our translator reproduces that structure in Python:
 from __future__ import annotations
 
 import ast
+import time
+from dataclasses import dataclass
 
 from repro.adl.snippets import analyze_stmt, propagate_constants
 from repro.adl.spec import Instruction
 from repro.arch.faults import IllegalInstruction
+from repro.obs.events import BLOCK_TRANSLATE
+from repro.obs.probe import NULL_OBS
 from repro.ops import PURE_NAMESPACE
 from repro.synth.codegen import (
     BuildPlan,
@@ -238,11 +242,42 @@ class RegisterCache:
         return prelude + [new_if]
 
 
+@dataclass
+class CodeCacheStats:
+    """Public statistics of one simulator's block code cache.
+
+    ``hits``/``misses`` count :meth:`do_block` lookups (only on the
+    observed path — the unobserved fast path does not count), ``blocks``
+    is the current cache population, ``evictions`` counts capacity
+    evictions and ``flushes`` whole-cache invalidations.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+    blocks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+            "blocks": self.blocks,
+        }
+
+
 class BlockTranslator:
     """Translates basic blocks into specialized Python functions."""
 
-    def __init__(self, plan: BuildPlan) -> None:
+    def __init__(self, plan: BuildPlan, obs=None) -> None:
         self.plan = plan
+        self.obs = obs if obs is not None else NULL_OBS
+        self.cache_stats = CodeCacheStats()
+        #: statements dropped by DCE during the most recent translation
+        self._dce_dropped = 0
+        self._last_block_len = 0
         spec = plan.spec
         self._fold_funcs = dict(PURE_NAMESPACE)
         self._fold_funcs.update(spec.helpers)
@@ -264,6 +299,27 @@ class BlockTranslator:
 
     def translate(self, sim, start_pc: int):
         """Translate the block at ``start_pc`` against current memory."""
+        if not self.obs.enabled:
+            return self._translate(sim, start_pc)
+        start = time.perf_counter()
+        fn = self._translate(sim, start_pc)
+        elapsed_us = int((time.perf_counter() - start) * 1e6)
+        length = self._last_block_len
+        counters = self.obs.counters
+        counters.inc("translate.blocks")
+        counters.inc("translate.instructions", length)
+        counters.inc("translate.elapsed_us", elapsed_us)
+        counters.inc("translate.dce_eliminated", self._dce_dropped)
+        self.obs.events.emit(
+            BLOCK_TRANSLATE,
+            pc=start_pc,
+            instructions=length,
+            elapsed_us=elapsed_us,
+            dce_eliminated=self._dce_dropped,
+        )
+        return fn
+
+    def _translate(self, sim, start_pc: int):
         source, name = self.block_source(sim, start_pc)
         namespace = dict(sim.module_namespace)
         code = compile(source, f"<block {start_pc:#x}>", "exec")
@@ -295,6 +351,7 @@ class BlockTranslator:
             else None
         )
 
+        self._dce_dropped = 0
         pieces: list[list[ast.stmt]] = []
         sreg_reads_all: set[str] = set()
         sreg_writes_all: set[str] = set()
@@ -371,6 +428,7 @@ class BlockTranslator:
         else:
             writer.line(f"__state.pc = {final_next_pc}")
         writer.line(f"di.count = {count}")
+        self._last_block_len = count
         return writer.source(), name
 
     def _translate_instruction(
@@ -424,6 +482,7 @@ class BlockTranslator:
             kept = eliminate_dead(
                 [TaggedStmt("x", s) for s in stmts], live_out, plan.pure_names
             )
+            self._dce_dropped += len(stmts) - len(kept)
             stmts = [t.stmt for t in kept]
 
         # Control transfer is a per-encoding fact: an ARM data-processing

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 from repro.arch.faults import ExitProgram
 from repro.arch.state import ArchState
+from repro.obs.events import SYSCALL
+from repro.obs.probe import NULL_OBS
 
 SYS_EXIT = 1
 SYS_READ = 3
@@ -25,6 +27,16 @@ SYS_WRITE = 4
 SYS_GETPID = 20
 SYS_BRK = 45
 SYS_TIME = 13
+
+#: human-readable names for the observability layer's per-syscall counters
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit",
+    SYS_READ: "read",
+    SYS_WRITE: "write",
+    SYS_TIME: "time",
+    SYS_GETPID: "getpid",
+    SYS_BRK: "brk",
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +76,7 @@ class OSEmulator:
         stdin: bytes = b"",
         brk_base: int = 0x0100_0000,
         time_step: int = 1,
+        obs=None,
     ) -> None:
         self.abi = abi
         self.stdin = bytearray(stdin)
@@ -74,6 +87,7 @@ class OSEmulator:
         self._time = 0
         self._time_step = time_step
         self.call_counts: dict[int, int] = {}
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- register plumbing ------------------------------------------------------
 
@@ -98,6 +112,10 @@ class OSEmulator:
         """Handle one syscall trap (signature matches the synth hook)."""
         number = self._regs(state)[self.abi.number_reg]
         self.call_counts[number] = self.call_counts.get(number, 0) + 1
+        obs = self.obs
+        if obs.enabled:
+            obs.counters.inc(f"syscall.{SYSCALL_NAMES.get(number, number)}")
+            obs.events.emit(SYSCALL, number=number, pc=state.pc)
         handler = self._HANDLERS.get(number)
         if handler is None:
             self._ret(state, 2**32 - 38, error=True)  # -ENOSYS-ish

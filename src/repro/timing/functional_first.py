@@ -11,6 +11,8 @@ interface needs only the Decode informational level — exactly the
 from __future__ import annotations
 
 from repro.arch.faults import ExitProgram
+from repro.obs.probe import NULL_OBS
+from repro.obs.report import record_timing_stats
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.pipeline import InOrderPipelineModel, TimingReport
 
@@ -23,13 +25,15 @@ class FunctionalFirstSimulator:
         generated: GeneratedSimulator,
         syscall_handler=None,
         timing: InOrderPipelineModel | None = None,
+        obs=None,
     ) -> None:
         if generated.plan.buildset.semantic_detail != "block":
             raise ValueError(
                 "functional-first expects a block-detail interface "
                 "(one call per basic block producing a trace)"
             )
-        self.sim = generated.make(syscall_handler=syscall_handler)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = generated.make(syscall_handler=syscall_handler, obs=self.obs)
         self.timing = timing or InOrderPipelineModel(generated.spec)
         fields = generated.plan.trace_fields
         index = {name: position for position, name in enumerate(fields)}
@@ -76,4 +80,6 @@ class FunctionalFirstSimulator:
                     record[self._taken] if self._taken is not None else None,
                 )
             report.exit_status = exc.status
+        if self.obs.enabled:
+            record_timing_stats(self.obs, "functional_first", self.timing)
         return self.timing.fill_report(report)

@@ -11,6 +11,8 @@ timing-first.
 from __future__ import annotations
 
 from repro.arch.faults import ExitProgram
+from repro.obs.probe import NULL_OBS
+from repro.obs.report import record_timing_stats
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.classify import BRANCH, LOAD, MUL, STORE, InstructionClassifier
 from repro.timing.pipeline import TimingReport, default_caches
@@ -20,10 +22,12 @@ from repro.timing.branch import BimodalPredictor
 class IntegratedSimulator:
     """Functional execution and cycle accounting intermingled in one loop."""
 
-    def __init__(self, generated: GeneratedSimulator, syscall_handler=None):
+    def __init__(self, generated: GeneratedSimulator, syscall_handler=None,
+                 obs=None):
         if generated.plan.buildset.semantic_detail != "one":
             raise ValueError("integrated baseline uses a One-detail build")
-        self.sim = generated.make(syscall_handler=syscall_handler)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = generated.make(syscall_handler=syscall_handler, obs=self.obs)
         self.classifier = InstructionClassifier(generated.spec)
         self.icache, self.dcache = default_caches()
         self.predictor = BimodalPredictor()
@@ -64,4 +68,6 @@ class IntegratedSimulator:
         report.branch_mispredicts = self.mispredicts
         report.icache_misses = self.icache.stats.misses
         report.dcache_misses = self.dcache.stats.misses
+        if self.obs.enabled:
+            record_timing_stats(self.obs, "integrated", self)
         return report

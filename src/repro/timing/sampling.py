@@ -49,13 +49,15 @@ class SamplingSimulator:
         syscall_handler=None,
         detail_window: int = 200,
         fastforward_window: int = 1800,
+        obs=None,
     ) -> None:
         state = step_generated.spec.make_state()
         self.detailed = TimingDirectedSimulator(
-            step_generated, syscall_handler=syscall_handler, state=state
+            step_generated, syscall_handler=syscall_handler, state=state,
+            obs=obs,
         )
         self.fast = block_generated.make(
-            state=state, syscall_handler=syscall_handler
+            state=state, syscall_handler=syscall_handler, obs=obs
         )
         self.detail_window = detail_window
         self.fastforward_window = fastforward_window

@@ -17,6 +17,9 @@ which is precisely the property the rollback interface must provide.
 from __future__ import annotations
 
 from repro.arch.faults import ExitProgram
+from repro.obs.events import ROLLBACK
+from repro.obs.probe import NULL_OBS
+from repro.obs.report import record_timing_stats
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.pipeline import InOrderPipelineModel, TimingReport
 
@@ -32,6 +35,7 @@ class SpeculativeFunctionalFirstSimulator:
         window: int = 16,
         diverge_every: int = 0,
         diverge_depth: int = 4,
+        obs=None,
     ) -> None:
         if not generated.plan.buildset.speculation:
             raise ValueError(
@@ -40,7 +44,8 @@ class SpeculativeFunctionalFirstSimulator:
             )
         if generated.plan.buildset.semantic_detail != "one":
             raise ValueError("expected a One-detail speculative interface")
-        self.sim = generated.make(syscall_handler=syscall_handler)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = generated.make(syscall_handler=syscall_handler, obs=self.obs)
         self.timing = timing or InOrderPipelineModel(generated.spec)
         self.window = window
         self.diverge_every = diverge_every
@@ -84,6 +89,13 @@ class SpeculativeFunctionalFirstSimulator:
                     self.rollbacks += 1
                     self.rolled_back_instructions += depth
                     self._since_diverge = 0
+                    if self.obs.enabled:
+                        # Depth histogram: one counter per rollback depth.
+                        self.obs.counters.inc("rollback.count")
+                        self.obs.counters.inc(f"rollback.depth.{depth}")
+                        self.obs.events.emit(
+                            ROLLBACK, depth=depth, committed=committed
+                        )
                 if speculative > self.window:
                     commit = speculative - self.window
                     sim.commit(commit)
@@ -96,4 +108,6 @@ class SpeculativeFunctionalFirstSimulator:
         report.organization = "speculative-functional-first"
         report.rollbacks = self.rollbacks
         report.rolled_back_instructions = self.rolled_back_instructions
+        if self.obs.enabled:
+            record_timing_stats(self.obs, "spec_functional_first", self.timing)
         return report

@@ -11,6 +11,8 @@ each semantic step of the instruction happens.
 from __future__ import annotations
 
 from repro.arch.faults import ExitProgram
+from repro.obs.probe import NULL_OBS
+from repro.obs.report import record_timing_stats
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.classify import BRANCH, LOAD, MUL, STORE, InstructionClassifier
 from repro.timing.pipeline import TimingReport, default_caches
@@ -27,10 +29,14 @@ class TimingDirectedSimulator:
         state=None,
         mispredict_penalty: int = 6,
         mul_latency: int = 4,
+        obs=None,
     ) -> None:
         if generated.plan.buildset.semantic_detail != "step":
             raise ValueError("timing-directed requires a Step-detail interface")
-        self.sim = generated.make(state=state, syscall_handler=syscall_handler)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = generated.make(
+            state=state, syscall_handler=syscall_handler, obs=self.obs
+        )
         self.entries = [getattr(self.sim, n) for n in self.sim.entry_names]
         self.classifier = InstructionClassifier(generated.spec)
         self.icache, self.dcache = default_caches()
@@ -90,4 +96,6 @@ class TimingDirectedSimulator:
         report.branch_mispredicts = self.mispredicts
         report.icache_misses = self.icache.stats.misses
         report.dcache_misses = self.dcache.stats.misses
+        if self.obs.enabled:
+            record_timing_stats(self.obs, "timing_directed", self)
         return report

@@ -15,6 +15,9 @@ counted, recoverable mismatches rather than silent corruption.
 from __future__ import annotations
 
 from repro.arch.faults import ExitProgram
+from repro.obs.events import TIMING_MISMATCH
+from repro.obs.probe import NULL_OBS
+from repro.obs.report import record_timing_stats
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.classify import BRANCH, LOAD, MUL, STORE, InstructionClassifier
 from repro.timing.pipeline import TimingReport, default_caches
@@ -30,12 +33,14 @@ class TimingFirstSimulator:
         checker_generated: GeneratedSimulator,
         syscall_handler_factory,
         inject_bug_every: int | None = None,
+        obs=None,
     ) -> None:
         # Two independent simulators with independent OS emulators: the
         # paper's organization keeps completely separate state and
         # resynchronizes on mismatch.
+        self.obs = obs if obs is not None else NULL_OBS
         self.timing_sim = timing_generated.make(
-            syscall_handler=syscall_handler_factory()
+            syscall_handler=syscall_handler_factory(), obs=self.obs
         )
         self.checker_sim = checker_generated.make(
             syscall_handler=syscall_handler_factory()
@@ -97,6 +102,13 @@ class TimingFirstSimulator:
             or timing.state.sr != checker.state.sr
         ):
             self.mismatches += 1
+            if self.obs.enabled:
+                self.obs.counters.inc("timing_first.mismatches")
+                self.obs.events.emit(
+                    TIMING_MISMATCH,
+                    pc=timing.state.pc,
+                    instruction=self.instructions,
+                )
             # Pipeline flush + state reload from the functional model.
             timing.state.copy_architectural_state_from(checker.state)
             self.cycles += 10  # flush penalty
@@ -114,4 +126,6 @@ class TimingFirstSimulator:
         report.branch_mispredicts = self.mispredicts
         report.icache_misses = self.icache.stats.misses
         report.dcache_misses = self.dcache.stats.misses
+        if self.obs.enabled:
+            record_timing_stats(self.obs, "timing_first", self)
         return report

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.isa.base import get_bundle
+from repro.obs.report import record_sim_stats
 from repro.sysemu.loader import load_image
 from repro.sysemu.syscalls import OSEmulator
 from repro.workloads.kernels import SUITE, KernelSpec
@@ -40,21 +41,31 @@ def run_kernel(
     name: str,
     n: int | None = None,
     max_instructions: int = 50_000_000,
+    obs=None,
 ) -> KernelRun:
-    """Run kernel ``name`` on a fresh simulator from ``generated``."""
+    """Run kernel ``name`` on a fresh simulator from ``generated``.
+
+    Pass an :class:`repro.obs.Observability` as ``obs`` to aggregate the
+    run's statistics (per-entrypoint counts, code-cache behaviour,
+    per-syscall counts) into it; the default runs unobserved.
+    """
     import time
 
     spec = SUITE[name]
     size = n if n is not None else spec.test_n
     bundle = get_bundle(isa)
     image = assemble_kernel(isa, spec, size)
-    os_emu = OSEmulator(bundle.abi)
-    sim = generated.make(syscall_handler=os_emu)
+    os_emu = OSEmulator(bundle.abi, obs=obs)
+    sim = generated.make(syscall_handler=os_emu, obs=obs)
     load_image(sim.state, image, bundle.abi)
     start = time.perf_counter()
     result = sim.run(max_instructions)
     elapsed = time.perf_counter() - start
     value = sim.state.mem.read_u32(image.symbol("result"))
+    if obs is not None and obs.enabled:
+        record_sim_stats(obs, sim)
+        obs.counters.inc("run.instructions", result.executed)
+        obs.counters.inc("run.kernels", 1)
     return KernelRun(
         kernel=name,
         isa=isa,

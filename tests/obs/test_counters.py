@@ -1,0 +1,76 @@
+"""Unit tests for the hierarchical counter store."""
+
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        c = Counters()
+        c.inc("code_cache.hits")
+        c.inc("code_cache.hits", 4)
+        assert c.get("code_cache.hits") == 5
+        assert c.get("absent") == 0
+        assert c.get("absent", -1) == -1
+
+    def test_put_is_gauge(self):
+        c = Counters()
+        c.put("code_cache.blocks", 10)
+        c.put("code_cache.blocks", 7)
+        assert c.get("code_cache.blocks") == 7
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.inc("b", 2)
+        c.inc("a", 1)
+        assert c.items() == [("a", 1), ("b", 2)]
+
+    def test_as_tree_nests_dotted_names(self):
+        c = Counters()
+        c.inc("syscall.write", 3)
+        c.inc("syscall.exit", 1)
+        c.inc("run.instructions", 100)
+        assert c.as_tree() == {
+            "syscall": {"write": 3, "exit": 1},
+            "run": {"instructions": 100},
+        }
+
+    def test_as_tree_leaf_and_prefix_collision(self):
+        c = Counters()
+        c.inc("rollback", 2)
+        c.inc("rollback.depth.4", 1)
+        tree = c.as_tree()
+        assert tree["rollback"]["total"] == 2
+        assert tree["rollback"]["depth"]["4"] == 1
+
+    def test_merge_sums(self):
+        a, b = Counters(), Counters()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3 and a.get("y") == 3
+
+    def test_clear_and_len(self):
+        c = Counters()
+        c.inc("x")
+        assert len(c) == 1
+        c.clear()
+        assert len(c) == 0
+
+
+class TestNullCounters:
+    def test_all_operations_are_inert(self):
+        n = NullCounters()
+        n.inc("x", 5)
+        n.put("y", 9)
+        n.merge(None)
+        n.clear()
+        assert n.get("x") == 0
+        assert n.items() == []
+        assert n.as_tree() == {}
+        assert len(n) == 0
+        assert not n.enabled
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_COUNTERS, NullCounters)
+        assert not NULL_COUNTERS.enabled

@@ -1,0 +1,63 @@
+"""Unit tests for the event ring buffer."""
+
+import pytest
+
+from repro.obs.events import NULL_EVENTS, EventRing, NullEventRing
+
+
+class TestEventRing:
+    def test_emit_and_snapshot_order(self):
+        ring = EventRing(capacity=8)
+        for i in range(3):
+            ring.emit("syscall", number=i)
+        events = ring.snapshot()
+        assert [e.kind for e in events] == ["syscall"] * 3
+        assert [dict(e.fields)["number"] for e in events] == [0, 1, 2]
+        assert [e.seq for e in events] == [0, 1, 2]
+
+    def test_wraparound_keeps_newest(self):
+        ring = EventRing(capacity=4)
+        for i in range(10):
+            ring.emit("e", i=i)
+        events = ring.snapshot()
+        assert len(events) == 4
+        assert [dict(e.fields)["i"] for e in events] == [6, 7, 8, 9]
+        assert ring.emitted == 10
+        assert ring.dropped == 6
+
+    def test_no_drops_below_capacity(self):
+        ring = EventRing(capacity=4)
+        ring.emit("e")
+        assert ring.dropped == 0
+        assert len(ring) == 1
+
+    def test_as_dict(self):
+        ring = EventRing()
+        ring.emit("rollback", depth=4)
+        event = ring.snapshot()[0]
+        assert event.as_dict() == {"seq": 0, "kind": "rollback", "depth": 4}
+
+    def test_clear(self):
+        ring = EventRing(capacity=4)
+        ring.emit("e")
+        ring.clear()
+        assert ring.snapshot() == []
+        assert ring.emitted == 0
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+class TestNullEventRing:
+    def test_inert(self):
+        ring = NullEventRing()
+        ring.emit("e", x=1)
+        ring.clear()
+        assert ring.snapshot() == []
+        assert len(ring) == 0
+        assert ring.emitted == 0 and ring.dropped == 0
+        assert not ring.enabled
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_EVENTS, NullEventRing)

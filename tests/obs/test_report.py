@@ -1,0 +1,101 @@
+"""Unit tests for stats aggregation and rendering."""
+
+import json
+
+from repro.obs import (
+    Observability,
+    collect,
+    make_observability,
+    render_json,
+    render_text,
+)
+from repro.obs.probe import NULL_OBS
+from repro.obs.report import record_timing_stats
+
+
+def _populated_obs() -> Observability:
+    obs = Observability(ring_capacity=16)
+    obs.counters.inc("code_cache.hits", 12)
+    obs.counters.inc("code_cache.misses", 3)
+    obs.counters.inc("syscall.write", 2)
+    obs.events.emit("syscall", number=4, pc=0x1000)
+    obs.events.emit("cache_flush", dropped=3)
+    return obs
+
+
+class TestCollect:
+    def test_document_shape(self):
+        stats = collect(_populated_obs())
+        assert stats["counters"]["code_cache"]["hits"] == 12
+        assert stats["events"]["emitted"] == 2
+        assert stats["events"]["dropped"] == 0
+        kinds = [e["kind"] for e in stats["events"]["recent"]]
+        assert kinds == ["syscall", "cache_flush"]
+
+    def test_recent_limit(self):
+        obs = Observability(ring_capacity=64)
+        for i in range(40):
+            obs.events.emit("e", i=i)
+        stats = collect(obs, recent=5)
+        assert len(stats["events"]["recent"]) == 5
+        assert stats["events"]["recent"][-1]["i"] == 39
+
+    def test_null_obs_collects_empty(self):
+        stats = collect(NULL_OBS)
+        assert stats["counters"] == {}
+        assert stats["events"]["recent"] == []
+
+
+class TestRendering:
+    def test_render_json_round_trips(self):
+        stats = collect(_populated_obs())
+        assert json.loads(render_json(stats)) == stats
+
+    def test_render_text_mentions_counters_and_events(self):
+        text = render_text(collect(_populated_obs()))
+        assert "code_cache" in text
+        assert "hits" in text
+        assert "events: 2 emitted" in text
+        assert "cache_flush" in text
+
+    def test_render_text_empty(self):
+        assert "no counters" in render_text(collect(NULL_OBS))
+
+
+class TestMakeObservability:
+    def test_enabled_returns_live_instance(self):
+        obs = make_observability()
+        assert obs.enabled
+        obs.counters.inc("x")
+        assert obs.counters.get("x") == 1
+
+    def test_disabled_returns_shared_null(self):
+        assert make_observability(enabled=False) is NULL_OBS
+
+
+class TestRecordTimingStats:
+    def test_folds_cache_and_predictor_gauges(self):
+        from repro.timing.branch import BimodalPredictor
+        from repro.timing.cache import Cache
+
+        class Model:
+            icache = Cache("I1", size=1024, line=32, assoc=2)
+            dcache = Cache("D1", size=1024, line=32, assoc=2)
+            predictor = BimodalPredictor(entries=64)
+
+        model = Model()
+        model.icache.access(0x1000)
+        model.icache.access(0x1000)
+        model.predictor.update(0x1000, True)
+
+        obs = Observability()
+        record_timing_stats(obs, "functional_first", model)
+        tree = obs.counters.as_tree()["timing"]["functional_first"]
+        assert tree["icache"]["hits"] == 1
+        assert tree["icache"]["misses"] == 1
+        assert tree["branch"]["correct"] + tree["branch"]["mispredicted"] == 1
+
+        # Gauge semantics: recording again must not double-count.
+        record_timing_stats(obs, "functional_first", model)
+        tree = obs.counters.as_tree()["timing"]["functional_first"]
+        assert tree["icache"]["misses"] == 1
