@@ -35,6 +35,7 @@ from repro.adl.spec import (
     OperandSlot,
 )
 from repro.arch.registers import RegisterFileDef, SpecialRegisterDef, width_of
+from repro.lint.decode import find_pattern_conflicts
 from repro.ops import PURE_NAMESPACE
 
 _FIELD_TYPES = {"u8", "u16", "u32", "u64", "bool"}
@@ -123,8 +124,13 @@ class _Collector:
             raise AnalysisError(f"unhandled declaration {type(decl).__name__}", decl.loc)
 
 
-def analyze(decls: list[syn.Decl]) -> IsaSpec:
-    """Resolve declarations into a validated :class:`IsaSpec`."""
+def analyze(decls: list[syn.Decl], *, check_decode: bool = True) -> IsaSpec:
+    """Resolve declarations into a validated :class:`IsaSpec`.
+
+    ``check_decode=False`` skips the hard decode-conflict check so that
+    :mod:`repro.lint` can analyze a conflicted specification and report
+    every overlap as a located diagnostic instead of one exception.
+    """
     col = _Collector(decls)
     if col.action_order is None:
         raise AnalysisError("missing 'actions' order declaration")
@@ -151,7 +157,7 @@ def analyze(decls: list[syn.Decl]) -> IsaSpec:
             raise AnalysisError(
                 f"field {name!r} collides with a register declaration", decl.loc
             )
-        fields[name] = Field(name, _checked_type(decl.type, decl.loc))
+        fields[name] = Field(name, _checked_type(decl.type, decl.loc), loc=decl.loc)
     for name, decl in col.operandnames.items():
         id_field = f"{name}_id"
         if id_field in fields:
@@ -159,14 +165,17 @@ def analyze(decls: list[syn.Decl]) -> IsaSpec:
                 f"operand id field {id_field!r} collides with an existing field",
                 decl.loc,
             )
-        fields[id_field] = Field(id_field, "u32", slot=name)
+        fields[id_field] = Field(id_field, "u32", slot=name, loc=decl.loc)
         if decl.value_field not in fields:
             raise AnalysisError(
                 f"operand {name!r} value field {decl.value_field!r} is not declared",
                 decl.loc,
             )
         fields[decl.value_field] = Field(
-            decl.value_field, fields[decl.value_field].type, slot=name
+            decl.value_field,
+            fields[decl.value_field].type,
+            slot=name,
+            loc=fields[decl.value_field].loc,
         )
 
     # -- formats -------------------------------------------------------------
@@ -190,7 +199,7 @@ def analyze(decls: list[syn.Decl]) -> IsaSpec:
                     bf.loc,
                 )
             bitfields[bf.name] = Bitfield(bf.name, bf.hi, bf.lo, bf.signed)
-        formats[name] = Format(name, bitfields)
+        formats[name] = Format(name, bitfields, loc=decl.loc)
 
     # -- helpers ---------------------------------------------------------------
     helpers: dict[str, object] = {}
@@ -275,8 +284,13 @@ def analyze(decls: list[syn.Decl]) -> IsaSpec:
             raise AnalysisError(
                 f"action name {action!r} is not in the 'actions' order", decl.loc
             )
-    parsed_actions: dict[tuple[str, str], tuple[ast.stmt, ...]] = {
-        key: tuple(snippets.parse_snippet(decl.snippet, decl.snippet_loc))
+    parsed_actions: dict[
+        tuple[str, str], tuple[tuple[ast.stmt, ...], SourceLoc]
+    ] = {
+        key: (
+            tuple(snippets.parse_snippet(decl.snippet, decl.snippet_loc)),
+            decl.snippet_loc,
+        )
         for key, decl in col.actions.items()
     }
 
@@ -335,7 +349,7 @@ def analyze(decls: list[syn.Decl]) -> IsaSpec:
             raise AnalysisError(f"instruction {name!r} has no match terms", decl.loc)
 
         operands = _resolve_operands(name, decl.classes, bindings_by_target, decl.loc)
-        action_code = _build_action_code(
+        action_code, action_locs = _build_action_code(
             name,
             decl,
             fmt,
@@ -355,10 +369,13 @@ def analyze(decls: list[syn.Decl]) -> IsaSpec:
                 patterns=tuple(patterns),
                 operands=tuple(operands),
                 action_code=action_code,
+                loc=decl.loc,
+                action_locs=action_locs,
             )
         )
 
-    _check_decode_conflicts(instructions)
+    if check_decode:
+        _check_decode_conflicts(instructions)
 
     # -- groups (may reference previously-declared groups) -----------------------
     groups: dict[str, tuple[str, ...]] = {}
@@ -492,16 +509,17 @@ def _build_action_code(
     decl: syn.InstructionDecl,
     fmt: Format,
     operands: list[OperandBinding],
-    parsed_actions: dict[tuple[str, str], tuple[ast.stmt, ...]],
+    parsed_actions: dict[tuple[str, str], tuple[tuple[ast.stmt, ...], SourceLoc]],
     action_order: tuple[str, ...],
     fields: dict[str, Field],
     regfiles: dict,
     sregs: dict,
     global_names: set[str],
-) -> dict[str, tuple[ast.stmt, ...]]:
+) -> tuple[dict[str, tuple[ast.stmt, ...]], dict[str, SourceLoc]]:
     """Assemble the per-action statement lists for one instruction."""
     known = global_names | set(fmt.bitfields)
     code: dict[str, list[ast.stmt]] = {}
+    action_locs: dict[str, SourceLoc] = {}
 
     # Operand-generated statements first, in binding order.
     for binding in operands:
@@ -529,8 +547,10 @@ def _build_action_code(
         if user is None:
             user = parsed_actions.get(("*", action))
         if user is not None:
+            stmts, snippet_loc = user
+            action_locs[action] = snippet_loc
             code.setdefault(action, []).extend(
-                ast.parse(ast.unparse(stmt)).body[0] for stmt in user
+                ast.parse(ast.unparse(stmt)).body[0] for stmt in stmts
             )
 
     # Validate name usage: anything read must be globally known, a format
@@ -556,19 +576,38 @@ def _build_action_code(
                         decl.loc,
                     )
             assigned |= facts.writes
-    return {action: tuple(stmts) for action, stmts in code.items() if stmts}
+    return (
+        {action: tuple(stmts) for action, stmts in code.items() if stmts},
+        action_locs,
+    )
 
 
 def _check_decode_conflicts(instructions: list[Instruction]) -> None:
-    seen: dict[tuple[int, int], str] = {}
-    for instr in instructions:
-        for pattern in instr.patterns:
-            if pattern in seen and seen[pattern] != instr.name:
-                raise AnalysisError(
-                    f"instructions {seen[pattern]!r} and {instr.name!r} have "
-                    f"identical decode patterns"
-                )
-            seen[pattern] = instr.name
+    """Reject ambiguous decode spaces via mask/value intersection.
+
+    Uses the lint engine's pairwise overlap classification: identical
+    patterns and overlaps where neither pattern is strictly more specific
+    are hard errors (dispatch order would be arbitrary).  Strict
+    specialization (one mask a superset of the other) stays legal — the
+    popcount-ordered dispatch tables resolve it deterministically — and is
+    surfaced as a lint warning instead (``LIS003``).
+    """
+    for conflict in find_pattern_conflicts(instructions):
+        if conflict.kind == "identical":
+            raise AnalysisError(
+                f"instructions {conflict.a!r} and {conflict.b!r} have "
+                f"identical decode patterns "
+                f"(mask {conflict.pattern_b[0]:#x}, value {conflict.pattern_b[1]:#x})",
+                conflict.b_loc or conflict.a_loc,
+            )
+        if conflict.kind == "ambiguous":
+            raise AnalysisError(
+                f"instructions {conflict.a!r} and {conflict.b!r} have "
+                f"overlapping decode patterns and neither is more specific: "
+                f"some encodings match both and dispatch order would be "
+                f"arbitrary",
+                conflict.b_loc or conflict.a_loc,
+            )
 
 
 def _build_buildset(
@@ -579,6 +618,7 @@ def _build_buildset(
 ) -> Buildset:
     speculation = False
     visible = set(fields)  # default: show all
+    explicit_shows: set[str] = set()
     entrypoints: list[Entrypoint] = []
     names_seen: set[str] = set()
     for stmt in decl.statements:
@@ -587,6 +627,8 @@ def _build_buildset(
         elif isinstance(stmt, syn.VisibilityStmt):
             if not stmt.names:  # "all"
                 visible = set(fields) if stmt.mode == "show" else set(ALWAYS_VISIBLE)
+                if stmt.mode == "hide":
+                    explicit_shows.clear()
                 continue
             for name in stmt.names:
                 if name not in fields:
@@ -595,8 +637,10 @@ def _build_buildset(
                     )
                 if stmt.mode == "show":
                     visible.add(name)
+                    explicit_shows.add(name)
                 elif name not in ALWAYS_VISIBLE:
                     visible.discard(name)
+                    explicit_shows.discard(name)
         elif isinstance(stmt, syn.EntrypointStmt):
             if stmt.name in names_seen:
                 raise AnalysisError(
@@ -635,4 +679,6 @@ def _build_buildset(
         speculation=speculation,
         visible=frozenset(visible),
         entrypoints=tuple(entrypoints),
+        loc=decl.loc,
+        explicit_shows=frozenset(explicit_shows),
     )

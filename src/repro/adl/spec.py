@@ -56,6 +56,7 @@ class Format:
 
     name: str
     bitfields: dict[str, Bitfield]
+    loc: SourceLoc | None = None
 
     def extract_all(self, word: int) -> dict[str, int]:
         return {name: bf.extract(word) for name, bf in self.bitfields.items()}
@@ -70,6 +71,7 @@ class Field:
     builtin: bool = False
     #: operand slot this field belongs to, if any ("src1_id" -> "src1")
     slot: str | None = None
+    loc: SourceLoc | None = None
 
     @property
     def width(self) -> int:
@@ -128,6 +130,10 @@ class Instruction:
     #: action name -> statements (operand-generated + user snippet),
     #: already instantiated for this instruction
     action_code: dict[str, tuple[ast.stmt, ...]] = field(default_factory=dict)
+    loc: SourceLoc | None = None
+    #: action name -> source location of the user snippet that provided
+    #: its code (instruction-specific, class, or wildcard declaration)
+    action_locs: dict[str, SourceLoc] = field(default_factory=dict)
 
     @property
     def mask(self) -> int:
@@ -158,6 +164,11 @@ class Buildset:
     speculation: bool
     visible: frozenset[str]
     entrypoints: tuple[Entrypoint, ...]
+    loc: SourceLoc | None = None
+    #: fields named by an explicit ``visibility show`` list (as opposed to
+    #: a blanket ``show all``); lets tooling tell deliberate exposure from
+    #: the default
+    explicit_shows: frozenset[str] = frozenset()
 
     @property
     def semantic_detail(self) -> str:

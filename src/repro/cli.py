@@ -11,6 +11,8 @@
     python -m repro kernels alpha block_min --stats=json   # scriptable
     python -m repro stats alpha block_min         # observability report
     python -m repro disasm alpha prog.s           # assemble + disassemble
+    python -m repro lint alpha                    # static-check the spec
+    python -m repro lint alpha --format=json      # machine-readable
     python -m repro table1 [--json]               # Table I analogue
 """
 
@@ -235,6 +237,19 @@ def _cmd_stats(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import render_json, render_text as render_lint_text
+    from repro.lint.runner import lint_paths
+
+    bundle = get_bundle(args.isa)
+    result = lint_paths([str(p) for p in bundle.description_paths()])
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_lint_text(result, show_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
 def _cmd_table1(args) -> int:
     characteristics = table1()
     if args.json:
@@ -341,6 +356,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="emit the full report as JSON")
 
+    p_lint = sub.add_parser(
+        "lint", help="run static analysis over an ISA's specification files"
+    )
+    p_lint.add_argument("isa", choices=available_isas())
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed diagnostics in text output",
+    )
+
     p_t1 = sub.add_parser("table1", help="print the Table I analogue")
     p_t1.add_argument("--json", action="store_true",
                       help="emit the table as JSON")
@@ -353,6 +384,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "disasm": _cmd_disasm,
     "kernels": _cmd_kernels,
+    "lint": _cmd_lint,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
 }

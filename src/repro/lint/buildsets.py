@@ -1,0 +1,159 @@
+"""Buildset-consistency diagnostics (LIS020-LIS024).
+
+Two layers: declaration-level checks that run *before* semantic analysis
+(so a broken buildset is reported with its own location instead of one
+opaque analysis failure), and spec-level checks over the analyzed
+:class:`IsaSpec`.
+"""
+
+from __future__ import annotations
+
+from repro.adl import syntax as syn
+from repro.adl.spec import ALWAYS_VISIBLE, BUILTIN_FIELDS, IsaSpec
+from repro.adl.snippets import analyze_stmts
+from repro.lint.core import Diagnostic, make_diagnostic
+
+#: Fields the timing-model taxonomy treats as decode-level information:
+#: operand identifiers plus the dependence/control hints (paper §III's
+#: "DecodeInfo" column).
+_DECODE_HINT_FIELDS = ("effective_addr", "branch_taken", "branch_target")
+
+
+def check_buildset_decls(decls: list[syn.Decl]) -> list[Diagnostic]:
+    """LIS020/LIS023 on raw declarations.
+
+    A light collection pass (names only) stands in for the analyzer so
+    these fire even when analysis would abort on the same problem.
+    """
+    actions: set[str] = set()
+    groups: set[str] = set()
+    fields: set[str] = set(BUILTIN_FIELDS)
+    for decl in decls:
+        if isinstance(decl, syn.ActionsOrderDecl):
+            actions.update(decl.names)
+        elif isinstance(decl, syn.GroupDecl):
+            groups.add(decl.name)
+        elif isinstance(decl, syn.FieldDecl):
+            fields.add(decl.name)
+        elif isinstance(decl, syn.OperandNameDecl):
+            fields.add(f"{decl.name}_id")
+            fields.add(decl.value_field)
+
+    diags: list[Diagnostic] = []
+    for decl in decls:
+        if isinstance(decl, syn.GroupDecl):
+            for name in decl.actions:
+                if name not in actions and name not in groups:
+                    diags.append(
+                        make_diagnostic(
+                            "LIS020",
+                            f"group {decl.name!r} references unknown action "
+                            f"or group {name!r}",
+                            decl.loc,
+                        )
+                    )
+            continue
+        if not isinstance(decl, syn.BuildsetDecl):
+            continue
+        for stmt in decl.statements:
+            if isinstance(stmt, syn.EntrypointStmt):
+                for name in stmt.actions:
+                    if name not in actions and name not in groups:
+                        diags.append(
+                            make_diagnostic(
+                                "LIS020",
+                                f"buildset {decl.name!r}, entrypoint "
+                                f"{stmt.name!r} references unknown action "
+                                f"or group {name!r}",
+                                stmt.loc,
+                            )
+                        )
+            elif isinstance(stmt, syn.VisibilityStmt):
+                for name in stmt.names:
+                    if name not in fields:
+                        diags.append(
+                            make_diagnostic(
+                                "LIS023",
+                                f"buildset {decl.name!r}: visibility list "
+                                f"names unknown field {name!r}",
+                                stmt.loc,
+                            )
+                        )
+    return diags
+
+
+def check_buildsets(spec: IsaSpec) -> list[Diagnostic]:
+    """LIS021/LIS022/LIS024 over the analyzed specification."""
+    diags: list[Diagnostic] = []
+    field_names = set(spec.fields)
+
+    # Field writes per action, across all instructions.
+    writes_by_action: dict[str, set[str]] = {}
+    for instr in spec.instructions:
+        for action, stmts in instr.action_code.items():
+            writes_by_action.setdefault(action, set()).update(
+                analyze_stmts(list(stmts)).writes & field_names
+            )
+
+    # -- LIS021: actions no buildset's entrypoints ever reach ----------------
+    reachable: set[str] = set()
+    for buildset in spec.buildsets.values():
+        for entrypoint in buildset.entrypoints:
+            reachable.update(entrypoint.actions)
+    for action in spec.action_order:
+        if action in reachable:
+            continue
+        loc = None
+        for instr in spec.instructions:
+            loc = instr.action_locs.get(action)
+            if loc is not None:
+                break
+        diags.append(
+            make_diagnostic(
+                "LIS021",
+                f"action {action!r} is unreachable: no entrypoint of any "
+                f"buildset ever invokes it",
+                loc,
+            )
+        )
+
+    decode_fields = {f for f in field_names if f.endswith("_id") and spec.fields[f].slot}
+    decode_fields |= set(_DECODE_HINT_FIELDS) & field_names
+
+    for name, buildset in sorted(spec.buildsets.items()):
+        bs_reachable = {
+            action
+            for entrypoint in buildset.entrypoints
+            for action in entrypoint.actions
+        }
+        written = set()
+        for action in bs_reachable:
+            written |= writes_by_action.get(action, set())
+
+        # -- LIS022: explicitly-shown fields nothing reachable computes ------
+        for field in sorted(buildset.explicit_shows - ALWAYS_VISIBLE):
+            if field not in written:
+                diags.append(
+                    make_diagnostic(
+                        "LIS022",
+                        f"buildset {name!r} shows field {field!r} but no "
+                        f"action reachable from its entrypoints writes it",
+                        buildset.loc,
+                    )
+                )
+
+        # -- LIS024: partial decode-level visibility -------------------------
+        if buildset.explicit_shows and decode_fields:
+            shown = buildset.explicit_shows & decode_fields
+            if shown and shown != decode_fields:
+                missing = sorted(decode_fields - shown)
+                diags.append(
+                    make_diagnostic(
+                        "LIS024",
+                        f"buildset {name!r} shows some decode-level fields "
+                        f"but hides {missing}; a timing model at the "
+                        f"DecodeInfo level needs the full set",
+                        buildset.loc,
+                    )
+                )
+    return diags

@@ -1,0 +1,149 @@
+"""Diagnostics model for the LIS specification linter.
+
+Every finding is a :class:`Diagnostic` carrying a stable code
+(``LIS001`` …), a severity, a message and a source location.  The code
+registry below is the single place severities and one-line titles are
+defined; :mod:`docs/linting.md` documents each code with a minimal
+triggering specification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.adl.errors import SourceLoc
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Only unsuppressed errors fail a lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one stable diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+
+
+_REGISTRY: tuple[CodeInfo, ...] = (
+    # -- engine ----------------------------------------------------------------
+    CodeInfo("LIS000", Severity.ERROR, "specification failed semantic analysis"),
+    # -- decode space ----------------------------------------------------------
+    CodeInfo("LIS001", Severity.ERROR, "identical decode patterns"),
+    CodeInfo("LIS002", Severity.ERROR, "ambiguous decode-pattern overlap"),
+    CodeInfo("LIS003", Severity.WARNING, "decode pattern specializes another"),
+    CodeInfo("LIS004", Severity.INFO, "undecodable encodings in format match space"),
+    CodeInfo("LIS005", Severity.WARNING, "format has no instructions"),
+    # -- specification liveness ------------------------------------------------
+    CodeInfo("LIS010", Severity.WARNING, "field is never written"),
+    CodeInfo("LIS011", Severity.WARNING, "field is written but never consumable"),
+    CodeInfo("LIS012", Severity.WARNING, "field may be read before it is written"),
+    CodeInfo("LIS013", Severity.WARNING, "action outputs are dead in every buildset"),
+    # -- buildset consistency --------------------------------------------------
+    CodeInfo("LIS020", Severity.ERROR, "entrypoint references unknown action"),
+    CodeInfo("LIS021", Severity.WARNING, "action unreachable from buildset"),
+    CodeInfo("LIS022", Severity.WARNING, "visible field is never computed"),
+    CodeInfo("LIS023", Severity.ERROR, "visibility list names unknown field"),
+    CodeInfo("LIS024", Severity.WARNING, "partial decode-level visibility"),
+    # -- speculation safety ----------------------------------------------------
+    CodeInfo("LIS030", Severity.ERROR, "unjournaled side effect under speculation"),
+    CodeInfo("LIS031", Severity.ERROR, "unjournaled container store under speculation"),
+    # -- snippet hygiene -------------------------------------------------------
+    CodeInfo("LIS040", Severity.ERROR, "snippet calls unknown function"),
+    CodeInfo("LIS041", Severity.ERROR, "decode accessor has architectural effects"),
+    CodeInfo("LIS042", Severity.WARNING, "snippet shadows a builtin or helper"),
+    CodeInfo("LIS043", Severity.WARNING, "accessor is never used"),
+)
+
+CODES: dict[str, CodeInfo] = {info.code: info for info in _REGISTRY}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str
+    message: str
+    loc: SourceLoc | None = None
+    severity: Severity | None = None
+    suppressed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.severity is None:
+            object.__setattr__(self, "severity", CODES[self.code].severity)
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def sort_key(self) -> tuple:
+        loc = self.loc
+        return (
+            loc.filename if loc else "~",
+            loc.line if loc else 0,
+            loc.column if loc else 0,
+            self.code,
+            self.message,
+        )
+
+    def as_suppressed(self) -> "Diagnostic":
+        return replace(self, suppressed=True)
+
+
+def make_diagnostic(
+    code: str, message: str, loc: SourceLoc | None = None
+) -> Diagnostic:
+    """Create a diagnostic with the registry's default severity."""
+    if code not in CODES:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    return Diagnostic(code=code, message=message, loc=loc)
+
+
+@dataclass
+class LintResult:
+    """The outcome of linting one specification set."""
+
+    paths: tuple[str, ...]
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def _active(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._active() if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._active() if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self._active() if d.severity is Severity.INFO]
+
+    @property
+    def suppressed(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "suppressed": len(self.suppressed),
+        }

@@ -1,0 +1,188 @@
+"""Decode-pattern set arithmetic: overlap classification and coverage.
+
+An instruction's decode alternative is a *cube* over the instruction
+word: a ``(mask, value)`` pair matching every word ``w`` with
+``w & mask == value``.  Everything the decode-space diagnostics and the
+analyzer's hard conflict check need reduces to three operations on
+cubes: intersection tests, pairwise overlap classification, and exact
+counting of a union of cubes (for coverage reports).
+
+This module deliberately imports nothing from the rest of the package so
+:mod:`repro.adl.analyzer` can share the conflict check without an import
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adl.errors import SourceLoc
+    from repro.adl.spec import Instruction
+
+Pattern = tuple[int, int]  # (mask, value)
+
+#: Safety valve for the disjoint-cube union count: coverage reporting is
+#: informational, so a pathological format simply loses its report.
+_MAX_DISJOINT_CUBES = 8192
+
+
+def patterns_intersect(a: Pattern, b: Pattern) -> bool:
+    """True when at least one instruction word matches both patterns."""
+    common = a[0] & b[0]
+    return (a[1] ^ b[1]) & common == 0
+
+
+def classify_overlap(a: Pattern, b: Pattern) -> str | None:
+    """Classify the relationship between two decode patterns.
+
+    Returns ``None`` when the patterns are disjoint, otherwise one of:
+
+    * ``"identical"`` — same mask and value: every word matching one
+      matches the other;
+    * ``"a_specializes"`` / ``"b_specializes"`` — one mask is a strict
+      superset of the other and the values agree on the common bits, so
+      one match set strictly contains the other.  Popcount-ordered
+      dispatch resolves this deterministically (most specific first);
+    * ``"ambiguous"`` — the match sets intersect but neither contains
+      the other: some words match both and dispatch order is arbitrary.
+    """
+    if not patterns_intersect(a, b):
+        return None
+    if a[0] == b[0]:
+        return "identical"
+    if a[0] & b[0] == b[0]:  # a's mask is a strict superset of b's
+        return "a_specializes"
+    if a[0] & b[0] == a[0]:
+        return "b_specializes"
+    return "ambiguous"
+
+
+@dataclass(frozen=True)
+class PatternConflict:
+    """One overlapping pattern pair between two distinct instructions."""
+
+    kind: str  # "identical" | "specializes" | "ambiguous"
+    a: str  # the more specific instruction for "specializes"
+    b: str
+    pattern_a: Pattern
+    pattern_b: Pattern
+    a_loc: "SourceLoc | None" = None
+    b_loc: "SourceLoc | None" = None
+
+
+def find_pattern_conflicts(
+    instructions: Sequence["Instruction"],
+) -> list[PatternConflict]:
+    """All pairwise decode-pattern overlaps between distinct instructions.
+
+    Alternatives *within* one instruction may overlap freely (they are
+    OR-ed).  One conflict is reported per (instruction pair, kind); for
+    ``"specializes"`` the more specific instruction is ``a``.
+    """
+    conflicts: list[PatternConflict] = []
+    seen: set[tuple[str, str, str]] = set()
+    for i, first in enumerate(instructions):
+        for second in instructions[i + 1 :]:
+            for pa in first.patterns:
+                for pb in second.patterns:
+                    kind = classify_overlap(pa, pb)
+                    if kind is None:
+                        continue
+                    if kind == "b_specializes":
+                        a, b = second, first
+                        pa, pb = pb, pa
+                        kind = "specializes"
+                    elif kind == "a_specializes":
+                        a, b = first, second
+                        kind = "specializes"
+                    else:
+                        a, b = first, second
+                    key = (a.name, b.name, kind)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    conflicts.append(
+                        PatternConflict(
+                            kind=kind,
+                            a=a.name,
+                            b=b.name,
+                            pattern_a=pa,
+                            pattern_b=pb,
+                            a_loc=getattr(a, "loc", None),
+                            b_loc=getattr(b, "loc", None),
+                        )
+                    )
+    return conflicts
+
+
+def _subtract_cube(a: Pattern, b: Pattern) -> list[Pattern]:
+    """``a \\ b`` as a list of disjoint cubes (standard decomposition)."""
+    if not patterns_intersect(a, b):
+        return [a]
+    out: list[Pattern] = []
+    mask, value = a
+    split_bits = b[0] & ~a[0]
+    bit = 1
+    while bit <= split_bits:
+        if split_bits & bit:
+            # Fix this bit opposite to b; all later pieces agree with b on
+            # the bits already processed, keeping the pieces disjoint.
+            out.append((mask | bit, value | (bit & ~b[1])))
+            mask |= bit
+            value |= b[1] & bit
+        bit <<= 1
+    return out  # empty when a is entirely inside b
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How much of a format's match-bit space decodes to something."""
+
+    union_mask: int  # bits constrained by at least one pattern
+    space: int  # 2 ** popcount(union_mask)
+    covered: int  # encodings (within that space) matching some pattern
+
+    @property
+    def uncovered(self) -> int:
+        return self.space - self.covered
+
+    @property
+    def covered_fraction(self) -> float:
+        return self.covered / self.space if self.space else 1.0
+
+
+def match_space_coverage(patterns: Iterable[Pattern]) -> CoverageReport | None:
+    """Exact union size of the patterns, projected onto their match bits.
+
+    Bits never constrained by any pattern are quotiented out: the report
+    speaks about the ``2**popcount(union mask)`` distinguishable
+    encodings.  Returns ``None`` for an empty pattern list or when the
+    disjoint-cube union grows past a safety limit.
+    """
+    patterns = list(patterns)
+    if not patterns:
+        return None
+    union_mask = 0
+    for mask, _ in patterns:
+        union_mask |= mask
+    space = 1 << bin(union_mask).count("1")
+    disjoint: list[Pattern] = []
+    for cube in patterns:
+        pieces = [cube]
+        for existing in disjoint:
+            pieces = [
+                part for piece in pieces for part in _subtract_cube(piece, existing)
+            ]
+            if not pieces:
+                break
+        disjoint.extend(pieces)
+        if len(disjoint) > _MAX_DISJOINT_CUBES:
+            return None
+    free_bits_total = bin(union_mask).count("1")
+    covered = 0
+    for mask, _ in disjoint:
+        fixed = bin(mask).count("1")
+        covered += 1 << (free_bits_total - fixed)
+    return CoverageReport(union_mask=union_mask, space=space, covered=covered)

@@ -1,0 +1,84 @@
+"""Decode-space diagnostics (LIS001-LIS005).
+
+Pairwise mask/value intersection over ``Instruction.patterns`` finds
+*overlapping* — not merely identical — encodings, and exact
+disjoint-cube counting reports how much of each format's match space
+actually decodes to an instruction.
+"""
+
+from __future__ import annotations
+
+from repro.adl.spec import IsaSpec
+from repro.lint.core import Diagnostic, make_diagnostic
+from repro.lint.decode import find_pattern_conflicts, match_space_coverage
+
+
+def check_decode_space(spec: IsaSpec) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+
+    # -- LIS001/LIS002/LIS003: pairwise pattern overlaps --------------------
+    for conflict in find_pattern_conflicts(spec.instructions):
+        loc = conflict.b_loc or conflict.a_loc
+        if conflict.kind == "identical":
+            diags.append(
+                make_diagnostic(
+                    "LIS001",
+                    f"instructions {conflict.a!r} and {conflict.b!r} have "
+                    f"identical decode patterns (mask "
+                    f"{conflict.pattern_a[0]:#x}, value "
+                    f"{conflict.pattern_a[1]:#x}); only one can ever decode",
+                    loc,
+                )
+            )
+        elif conflict.kind == "ambiguous":
+            diags.append(
+                make_diagnostic(
+                    "LIS002",
+                    f"instructions {conflict.a!r} and {conflict.b!r} have "
+                    f"overlapping decode patterns and neither is more "
+                    f"specific; dispatch order for the shared encodings is "
+                    f"arbitrary",
+                    loc,
+                )
+            )
+        else:  # specializes: a is the more specific instruction
+            diags.append(
+                make_diagnostic(
+                    "LIS003",
+                    f"decode pattern of {conflict.a!r} specializes "
+                    f"{conflict.b!r}: every encoding of {conflict.a!r} also "
+                    f"matches {conflict.b!r} (resolved deterministically, "
+                    f"most specific first)",
+                    conflict.a_loc or conflict.b_loc,
+                )
+            )
+
+    # -- LIS004/LIS005: per-format coverage ---------------------------------
+    by_format: dict[str, list[tuple[int, int]]] = {name: [] for name in spec.formats}
+    for instr in spec.instructions:
+        by_format.setdefault(instr.format.name, []).extend(instr.patterns)
+    for name, patterns in sorted(by_format.items()):
+        fmt = spec.formats.get(name)
+        loc = fmt.loc if fmt else None
+        if not patterns:
+            diags.append(
+                make_diagnostic(
+                    "LIS005",
+                    f"format {name!r} is declared but no instruction uses it",
+                    loc,
+                )
+            )
+            continue
+        report = match_space_coverage(patterns)
+        if report is None or report.uncovered == 0:
+            continue
+        diags.append(
+            make_diagnostic(
+                "LIS004",
+                f"format {name!r}: {report.uncovered} of {report.space} "
+                f"distinguishable encodings ({1 - report.covered_fraction:.1%}) "
+                f"decode to no instruction",
+                loc,
+            )
+        )
+    return diags

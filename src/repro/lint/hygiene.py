@@ -1,0 +1,117 @@
+"""Snippet-hygiene diagnostics (LIS040-LIS043).
+
+Accessor-level checks the analyzer cannot make: an accessor is only
+validated once it is instantiated for an instruction, so an unused
+accessor with a broken snippet sails through analysis — until someone
+binds it.  Plus shadowing checks over every snippet in the spec.
+"""
+
+from __future__ import annotations
+
+from repro.adl import snippets
+from repro.adl.errors import SourceLoc
+from repro.adl.spec import IsaSpec
+from repro.lint.core import Diagnostic, make_diagnostic
+
+
+def _shadowable_names(spec: IsaSpec) -> set[str]:
+    # Special registers are deliberately absent: assigning to an sreg name
+    # is the normal (journaled) way to write one, not shadowing.
+    return (
+        set(snippets.PURE_FUNCTIONS)
+        | set(snippets.EFFECT_FUNCTIONS)
+        | set(spec.helpers)
+        | set(spec.regfiles)
+    )
+
+
+def check_hygiene(spec: IsaSpec) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    known_calls = (
+        set(snippets.PURE_FUNCTIONS)
+        | set(snippets.EFFECT_FUNCTIONS)
+        | set(spec.helpers)
+    )
+    shadowable = _shadowable_names(spec)
+
+    used_accessors = {
+        binding.accessor.name
+        for instr in spec.instructions
+        for binding in instr.operands
+    }
+
+    for name, accessor in sorted(spec.accessors.items()):
+        parts = (
+            ("decode", accessor.decode),
+            ("read", accessor.read),
+            ("write", accessor.write),
+        )
+        for part_name, stmts in parts:
+            if not stmts:
+                continue
+            facts = snippets.analyze_stmts(list(stmts))
+            # -- LIS040: calls that resolve to nothing ------------------------
+            for call in sorted(facts.unknown_calls):
+                diags.append(
+                    make_diagnostic(
+                        "LIS040",
+                        f"accessor {name!r} ({part_name}) calls unknown "
+                        f"function {call!r}",
+                        accessor.loc,
+                    )
+                )
+            # -- LIS041: decode must be pure ----------------------------------
+            if part_name == "decode" and (facts.effects or facts.subscript_writes):
+                what = sorted(facts.effects | facts.subscript_writes)
+                diags.append(
+                    make_diagnostic(
+                        "LIS041",
+                        f"accessor {name!r}: decode snippet has "
+                        f"architectural effects ({', '.join(what)}); decode "
+                        f"runs speculatively and repeatedly and must be pure",
+                        accessor.loc,
+                    )
+                )
+            # -- LIS042: shadowing builtins/helpers/registers ------------------
+            for shadowed in sorted(facts.writes & shadowable):
+                diags.append(
+                    make_diagnostic(
+                        "LIS042",
+                        f"accessor {name!r} ({part_name}) assigns to "
+                        f"{shadowed!r}, shadowing a builtin, helper or "
+                        f"register name",
+                        accessor.loc,
+                    )
+                )
+        # -- LIS043: accessor never bound by any operand ----------------------
+        if name not in used_accessors:
+            diags.append(
+                make_diagnostic(
+                    "LIS043",
+                    f"accessor {name!r} is never bound to an operand slot "
+                    f"by any instruction or class",
+                    accessor.loc,
+                )
+            )
+
+    # -- LIS042 over instruction action snippets ------------------------------
+    seen: set[tuple[str, int | None, str]] = set()
+    for instr in spec.instructions:
+        for action, stmts in instr.action_code.items():
+            facts = snippets.analyze_stmts(list(stmts))
+            loc: SourceLoc | None = instr.action_locs.get(action) or instr.loc
+            for shadowed in sorted(facts.writes & shadowable):
+                key = (loc.filename if loc else "", loc.line if loc else None, shadowed)
+                if key in seen:
+                    continue
+                seen.add(key)
+                diags.append(
+                    make_diagnostic(
+                        "LIS042",
+                        f"action snippet (instruction {instr.name!r}, "
+                        f"action {action!r}) assigns to {shadowed!r}, "
+                        f"shadowing a builtin, helper or register name",
+                        loc,
+                    )
+                )
+    return diags

@@ -1,0 +1,259 @@
+"""Specification liveness diagnostics (LIS010-LIS013).
+
+Built on the same read/write facts the synthesizer's dead-code
+elimination uses (:mod:`repro.adl.snippets` / :mod:`repro.synth.dataflow`):
+fields nothing ever writes, fields written but never consumable, fields
+read before any action can have written them, and actions whose entire
+output set is dead in every buildset.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.adl import snippets
+from repro.adl.errors import SourceLoc
+from repro.adl.spec import ALWAYS_VISIBLE, Instruction, IsaSpec
+from repro.lint.core import Diagnostic, make_diagnostic
+from repro.synth.dataflow import stmt_is_anchored
+
+#: Builtin fields the harness defines before any action runs: ``pc`` /
+#: ``phys_pc`` / ``instr_bits`` at fetch, ``next_pc = pc + ilen`` and the
+#: ``fault`` reset injected at decode by the code generator.
+_PRE_DEFINED = frozenset(
+    {"pc", "phys_pc", "instr_bits", "next_pc", "fault"}
+)
+
+
+def _spec_globals(spec: IsaSpec) -> set[str]:
+    return (
+        set(spec.regfiles)
+        | set(spec.sregs)
+        | set(spec.helpers)
+        | set(snippets.PURE_FUNCTIONS)
+        | set(snippets.EFFECT_FUNCTIONS)
+        | {"True", "False", "None"}
+    )
+
+
+def _field_reads_writes(spec: IsaSpec) -> tuple[dict[str, int], dict[str, int]]:
+    """Per-field read/write occurrence counts across all action code."""
+    field_names = set(spec.fields)
+    reads: dict[str, int] = {}
+    writes: dict[str, int] = {}
+    for instr in spec.instructions:
+        for stmts in instr.action_code.values():
+            facts = snippets.analyze_stmts(list(stmts))
+            for name in facts.reads & field_names:
+                reads[name] = reads.get(name, 0) + 1
+            for name in facts.writes & field_names:
+                writes[name] = writes.get(name, 0) + 1
+    return reads, writes
+
+
+def check_field_liveness(spec: IsaSpec) -> list[Diagnostic]:
+    """LIS010/LIS011: declared fields nothing writes or nothing consumes."""
+    diags: list[Diagnostic] = []
+    reads, writes = _field_reads_writes(spec)
+    explicit_shows: set[str] = set()
+    for buildset in spec.buildsets.values():
+        explicit_shows |= buildset.explicit_shows
+    predicate_field = spec.predicate[0] if spec.predicate else None
+    for name, field in sorted(spec.fields.items()):
+        if field.builtin:
+            continue
+        if name not in writes and name not in reads:
+            diags.append(
+                make_diagnostic(
+                    "LIS010",
+                    f"field {name!r} is never written (or read) by any "
+                    f"action or accessor",
+                    field.loc,
+                )
+            )
+            continue
+        if name not in writes:
+            diags.append(
+                make_diagnostic(
+                    "LIS010",
+                    f"field {name!r} is read but never written by any "
+                    f"action or accessor",
+                    field.loc,
+                )
+            )
+            continue
+        consumable = (
+            name in reads
+            or name == predicate_field
+            or name in explicit_shows
+        )
+        if not consumable:
+            diags.append(
+                make_diagnostic(
+                    "LIS011",
+                    f"field {name!r} is written but never read by any "
+                    f"action and never explicitly shown by any buildset; "
+                    f"its computation is dead code in every interface",
+                    field.loc,
+                )
+            )
+    return diags
+
+
+def _walk_reads_before_write(
+    stmts: tuple[ast.stmt, ...] | list[ast.stmt],
+    defined: set[str],
+    known: set[str],
+    undefined_reads: dict[str, None],
+) -> set[str]:
+    """Record field reads not dominated by a write; return the new defs.
+
+    ``if`` branches are handled recursively and *optimistically*: writes
+    on either branch count as definitions afterwards, so only reads that
+    no path can have defined are reported (matching the code generator,
+    which zero-initializes such names rather than crashing).
+    """
+    for stmt in stmts:
+        if isinstance(stmt, ast.If):
+            test_reads = snippets.analyze_stmts(
+                [ast.Expr(stmt.test)]
+            ).reads
+            for name in sorted(test_reads - defined - known):
+                undefined_reads.setdefault(name)
+            branch_defs = set(defined)
+            for branch in (stmt.body, stmt.orelse):
+                branch_defined = set(defined)
+                _walk_reads_before_write(
+                    branch, branch_defined, known, undefined_reads
+                )
+                branch_defs |= branch_defined
+            defined |= branch_defs
+            continue
+        facts = snippets.analyze_stmt(stmt)
+        for name in sorted(facts.reads - defined - known - facts.writes):
+            undefined_reads.setdefault(name)
+        defined |= facts.writes
+    return defined
+
+
+def check_read_before_write(spec: IsaSpec) -> list[Diagnostic]:
+    """LIS012: fields an instruction may read before anything wrote them.
+
+    Actions are walked in specification order (the order every buildset's
+    entrypoints preserve), threading the defined set across actions.  Only
+    declared fields are reported — snippet locals are the code
+    generator's business.
+    """
+    diags: list[Diagnostic] = []
+    globals_ = _spec_globals(spec)
+    field_names = set(spec.fields)
+    for instr in spec.instructions:
+        known = globals_ | set(instr.format.bitfields)
+        defined: set[str] = set(_PRE_DEFINED)
+        for action in spec.action_order:
+            stmts = instr.action_code.get(action)
+            if not stmts:
+                continue
+            undefined: dict[str, None] = {}
+            _walk_reads_before_write(stmts, defined, known, undefined)
+            for name in undefined:
+                if name not in field_names:
+                    continue
+                diags.append(
+                    make_diagnostic(
+                        "LIS012",
+                        f"instruction {instr.name!r}, action {action!r}: "
+                        f"field {name!r} may be read before any action "
+                        f"writes it (it would silently read as zero)",
+                        instr.action_locs.get(action) or instr.loc,
+                    )
+                )
+    return diags
+
+
+def _action_loc(spec: IsaSpec, action: str) -> SourceLoc | None:
+    for instr in spec.instructions:
+        loc = instr.action_locs.get(action)
+        if loc is not None:
+            return loc
+    return None
+
+
+def _action_is_anchored(instr: Instruction, action: str, spec: IsaSpec) -> bool:
+    stmts = instr.action_code.get(action, ())
+    pure_extra = frozenset(spec.helpers)
+    facts = snippets.analyze_stmts(list(stmts))
+    if stmt_is_anchored(facts, pure_extra):
+        return True
+    # Writes to special registers or control-flow builtins keep an action
+    # alive regardless of field visibility.
+    anchored_writes = set(spec.sregs) | {"next_pc", "fault"}
+    return bool(facts.writes & anchored_writes)
+
+
+def check_dead_actions(spec: IsaSpec) -> list[Diagnostic]:
+    """LIS013: actions whose outputs are dead in every buildset.
+
+    An action is dead when no instruction's code for it has architectural
+    effects and every field it writes is (a) never read by another action
+    and (b) hidden in every buildset that reaches the action.
+    """
+    diags: list[Diagnostic] = []
+    field_names = set(spec.fields)
+    # Field reads per action, so an action's outputs consumed by another
+    # action (or the predicate) count as live.
+    reads_elsewhere: dict[str, set[str]] = {}
+    writes_by_action: dict[str, set[str]] = {}
+    anchored_actions: set[str] = set()
+    for instr in spec.instructions:
+        for action, stmts in instr.action_code.items():
+            facts = snippets.analyze_stmts(list(stmts))
+            writes_by_action.setdefault(action, set()).update(
+                facts.writes & field_names
+            )
+            for name in facts.reads & field_names:
+                reads_elsewhere.setdefault(name, set()).add(action)
+            if _action_is_anchored(instr, action, spec):
+                anchored_actions.add(action)
+    if spec.predicate:
+        reads_elsewhere.setdefault(spec.predicate[0], set()).add("<predicate>")
+    for action in spec.action_order:
+        outputs = writes_by_action.get(action)
+        if outputs is None or action in anchored_actions:
+            continue
+        consumed = any(
+            reads_elsewhere.get(name, set()) - {action} for name in outputs
+        )
+        if consumed:
+            continue
+        reaching = [
+            bs
+            for bs in spec.buildsets.values()
+            if action in {a for ep in bs.entrypoints for a in ep.actions}
+        ]
+        if not reaching:
+            continue  # LIS021's department
+        # ALWAYS_VISIBLE builtins stay in every interface, so writing one
+        # (e.g. fetch writing instr_bits) always counts as consumed.
+        visible_somewhere = any(outputs & bs.visible for bs in reaching)
+        if visible_somewhere:
+            continue
+        diags.append(
+            make_diagnostic(
+                "LIS013",
+                f"action {action!r} writes only "
+                f"{sorted(outputs)} which no other action reads and every "
+                f"buildset reaching it hides; its outputs are dead in "
+                f"every interface",
+                _action_loc(spec, action),
+            )
+        )
+    return diags
+
+
+def check_liveness(spec: IsaSpec) -> list[Diagnostic]:
+    return (
+        check_field_liveness(spec)
+        + check_read_before_write(spec)
+        + check_dead_actions(spec)
+    )

@@ -1,0 +1,75 @@
+"""Speculation-safety diagnostics (LIS030/LIS031).
+
+A ``speculation on`` buildset lets the timing model execute down a wrong
+path and roll back.  The synthesizer journals register-file subscript
+stores, special-register writes and ``__mem_write`` so they can be
+undone; anything else with an architectural effect — ``__syscall`` above
+all — escapes the journal and survives a rollback.  These checks flag
+every snippet reachable from a speculative buildset whose effects the
+journal cannot undo.
+"""
+
+from __future__ import annotations
+
+from repro.adl.snippets import analyze_stmts
+from repro.adl.spec import IsaSpec
+from repro.lint.core import Diagnostic, make_diagnostic
+
+#: Effect functions the speculation journal can undo. ``__raise`` only
+#: writes the per-instruction ``fault`` field, which is context-local and
+#: rolled back for free.
+_JOURNALED_EFFECTS = frozenset({"__mem_write", "__raise"})
+
+
+def check_speculation(spec: IsaSpec) -> list[Diagnostic]:
+    spec_buildsets = [bs for bs in spec.buildsets.values() if bs.speculation]
+    if not spec_buildsets:
+        return []
+    reachable: dict[str, list[str]] = {}
+    for buildset in spec_buildsets:
+        for entrypoint in buildset.entrypoints:
+            for action in entrypoint.actions:
+                reachable.setdefault(action, []).append(buildset.name)
+
+    diags: list[Diagnostic] = []
+    seen: set[tuple[str, str, str, str]] = set()
+    for instr in spec.instructions:
+        for action, stmts in instr.action_code.items():
+            buildsets = reachable.get(action)
+            if not buildsets:
+                continue
+            facts = analyze_stmts(list(stmts))
+            loc = instr.action_locs.get(action) or instr.loc
+            names = ", ".join(sorted(set(buildsets)))
+            for effect in sorted(facts.effects - _JOURNALED_EFFECTS):
+                key = ("LIS030", instr.name, action, effect)
+                if key in seen:
+                    continue
+                seen.add(key)
+                diags.append(
+                    make_diagnostic(
+                        "LIS030",
+                        f"instruction {instr.name!r}, action {action!r} "
+                        f"calls {effect} but is reachable from speculative "
+                        f"buildset(s) {names}; its effects cannot be "
+                        f"rolled back",
+                        loc,
+                    )
+                )
+            unjournaled = facts.subscript_writes - set(spec.regfiles)
+            for container in sorted(unjournaled):
+                key = ("LIS031", instr.name, action, container)
+                if key in seen:
+                    continue
+                seen.add(key)
+                diags.append(
+                    make_diagnostic(
+                        "LIS031",
+                        f"instruction {instr.name!r}, action {action!r} "
+                        f"stores into {container!r}, which is not a "
+                        f"journaled register file, under speculative "
+                        f"buildset(s) {names}",
+                        loc,
+                    )
+                )
+    return diags

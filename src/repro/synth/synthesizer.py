@@ -130,6 +130,8 @@ def synthesize(
     spec: IsaSpec,
     buildset_name: str,
     options: SynthOptions | None = None,
+    *,
+    strict: bool = False,
 ) -> GeneratedSimulator:
     """Synthesize a functional simulator for one interface definition.
 
@@ -141,12 +143,27 @@ def synthesize(
         Which of the spec's buildsets (interfaces) to generate.
     options:
         Ablation/measurement knobs (DCE, register caching, profiling).
+    strict:
+        Run the specification linter first and refuse to synthesize while
+        any unsuppressed error-severity diagnostic stands.
     """
     if buildset_name not in spec.buildsets:
         raise SynthesisError(
             f"spec {spec.name!r} has no buildset {buildset_name!r}; "
             f"available: {sorted(spec.buildsets)}"
         )
+    if strict:
+        # Imported lazily: repro.lint pulls in the ADL front end, which the
+        # synthesizer itself never needs.
+        from repro.lint.runner import lint_analyzed_spec
+
+        result = lint_analyzed_spec(spec)
+        if result.errors:
+            first = result.errors[0]
+            raise SynthesisError(
+                f"strict synthesis refused: {len(result.errors)} unsuppressed "
+                f"lint error(s), first: {first.code}: {first.message}"
+            )
     buildset = spec.buildsets[buildset_name]
     options = options or SynthOptions()
     plan = make_plan(spec, buildset, options)

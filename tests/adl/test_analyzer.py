@@ -153,6 +153,30 @@ class TestErrors:
         with pytest.raises(AnalysisError, match="identical decode"):
             analyze_src("instruction X format f { match opcode == 0; }")
 
+    def test_identical_decode_patterns_carry_loc(self):
+        with pytest.raises(AnalysisError) as exc:
+            analyze_src("instruction X format f { match opcode == 0; }")
+        assert exc.value.loc is not None
+        assert exc.value.loc.line > 0
+
+    def test_overlapping_ambiguous_patterns_rejected(self):
+        # opcode-mask and ra-mask are incomparable: words with opcode == 0
+        # and ra == 3 match both NOP and Y, and neither is more specific.
+        with pytest.raises(AnalysisError, match="neither is more specific") as exc:
+            analyze_src("instruction Y format f { match ra == 3; }")
+        assert exc.value.loc is not None
+
+    def test_strictly_specializing_pattern_allowed(self):
+        spec = analyze_src(
+            "instruction GEN format f { match opcode == 2; }\n"
+            "instruction SPC format f { match opcode == 2, ra == 1; }\n"
+        )
+        spc_word = (2 << 26) | (1 << 21)
+        gen_word = 2 << 26
+        names = [i.name for i in spec.instructions]
+        assert spec.decode(spc_word) == names.index("SPC")
+        assert spec.decode(gen_word) == names.index("GEN")
+
     def test_unknown_name_in_snippet(self):
         with pytest.raises(AnalysisError, match="unknown name"):
             analyze_src(

@@ -1,0 +1,254 @@
+"""One unit test per diagnostic code.
+
+Each test lints a small inline ADL source that triggers exactly the
+targeted defect and asserts the diagnostic's code, severity and source
+location (file + line).
+"""
+
+from repro.lint.core import Severity
+from repro.lint.runner import lint_source
+
+FILENAME = "<case>"
+
+# A clean-enough baseline: one instruction, one operand, one buildset.
+# (It intentionally still triggers LIS004 — NOP covers one opcode of 64 —
+# and LIS011 — v is written by read_s1 but consumed by nothing.)
+BASE = """
+isa mini;
+endian little;
+ilen 4;
+regfile R 4 u64;
+field v u64;
+format f { opcode[31:26]; ra[25:21]; }
+accessor R(n) {
+  decode %{ index = n %}
+  read %{ value = R[index] %}
+  write %{ R[index] = value %}
+}
+operandname s1 source (decode, read_s1) = v;
+actions translate, fetch, decode, read_s1, evaluate, writeback;
+action *@translate = %{ phys_pc = pc %}
+action *@fetch = %{ instr_bits = __fetch(phys_pc) %}
+class alu;
+operand alu s1 R(ra);
+instruction NOP format f : alu { match opcode == 0x00; }
+action NOP@evaluate = %{ pass %}
+buildset bs {
+  entrypoint go = translate, fetch, decode, read_s1, evaluate, writeback;
+}
+"""
+
+
+def line_of(source: str, needle: str) -> int:
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"needle {needle!r} not in source")
+
+
+def only(result, code):
+    found = [d for d in result.diagnostics if d.code == code]
+    assert found, f"expected a {code} diagnostic, got " + ", ".join(
+        sorted({d.code for d in result.diagnostics})
+    )
+    return found
+
+
+def assert_diag(source, code, severity, needle):
+    """Lint ``source``; assert a ``code`` diagnostic on ``needle``'s line."""
+    result = lint_source(source, FILENAME)
+    found = only(result, code)
+    expected_line = line_of(source, needle)
+    located = [d for d in found if d.loc and d.loc.line == expected_line]
+    assert located, (
+        f"{code} found but not at line {expected_line}: "
+        f"{[(d.loc.line if d.loc else None) for d in found]}"
+    )
+    diag = located[0]
+    assert diag.severity is severity
+    assert diag.loc.filename == FILENAME
+    return diag
+
+
+def test_lis000_analysis_failure():
+    source = BASE + "field v u64; // dup\n"
+    assert_diag(source, "LIS000", Severity.ERROR, "// dup")
+
+
+def test_lis001_identical_patterns():
+    source = BASE + "instruction DUP format f { match opcode == 0x00; }\n"
+    assert_diag(source, "LIS001", Severity.ERROR, "instruction DUP")
+
+
+def test_lis002_ambiguous_overlap():
+    source = (
+        BASE
+        + "instruction A2 format f { match opcode == 1; }\n"
+        + "instruction B2 format f { match ra == 2; }\n"
+    )
+    assert_diag(source, "LIS002", Severity.ERROR, "instruction B2")
+
+
+def test_lis003_specialization():
+    source = (
+        BASE
+        + "instruction GEN format f { match opcode == 2; }\n"
+        + "instruction SPC format f { match opcode == 2, ra == 1; }\n"
+    )
+    diag = assert_diag(source, "LIS003", Severity.WARNING, "instruction SPC")
+    assert "'GEN'" in diag.message
+
+
+def test_lis004_undecodable_encodings():
+    # NOP matches 1 of the 64 distinguishable opcode values.
+    diag = assert_diag(BASE, "LIS004", Severity.INFO, "format f {")
+    assert "63 of 64" in diag.message
+
+
+def test_lis005_unused_format():
+    source = BASE + "format g { x[3:0]; }\n"
+    assert_diag(source, "LIS005", Severity.WARNING, "format g")
+
+
+def test_lis010_field_never_written():
+    source = BASE + "field w u32;\n"
+    assert_diag(source, "LIS010", Severity.WARNING, "field w")
+
+
+def test_lis011_field_never_consumed():
+    # v is written by read_s1's accessor code but read by nothing and
+    # never explicitly shown.
+    assert_diag(BASE, "LIS011", Severity.WARNING, "field v")
+
+
+def test_lis012_read_before_write():
+    source = (
+        BASE
+        + "field w u32;\n"
+        + "instruction RBW format f { match opcode == 4; }\n"
+        + "action RBW@evaluate = %{ v = w + 1 %}\n"
+        + "action RBW@writeback = %{ w = v %}\n"
+    )
+    diag = assert_diag(source, "LIS012", Severity.WARNING, "action RBW@evaluate")
+    assert "'w'" in diag.message
+
+
+def test_lis013_dead_action_outputs():
+    # The only buildset hides everything, and nothing reads v.
+    source = BASE.replace(
+        "  entrypoint go =",
+        "  visibility hide all;\n  entrypoint go =",
+    ) + "action NOP@evaluate = %{ v = 7 %}\n"
+    diag = assert_diag(
+        source, "LIS013", Severity.WARNING, "action NOP@evaluate = %{ v = 7 %}"
+    )
+    assert "'evaluate'" in diag.message
+
+
+def test_lis020_unknown_entrypoint_action():
+    source = BASE + "buildset b2 { entrypoint go = nosuch; }\n"
+    assert_diag(source, "LIS020", Severity.ERROR, "nosuch")
+
+
+def test_lis021_unreachable_action():
+    source = BASE.replace(
+        "actions translate, fetch, decode, read_s1, evaluate, writeback;",
+        "actions translate, fetch, decode, read_s1, evaluate, writeback, spare;",
+    ) + "action NOP@spare = %{ pass %}\n"
+    diag = assert_diag(source, "LIS021", Severity.WARNING, "action NOP@spare")
+    assert "'spare'" in diag.message
+
+
+def test_lis022_visible_field_never_computed():
+    source = (
+        BASE
+        + "field q u32;\n"
+        + "buildset b2 { visibility hide all; visibility show q; "
+        + "entrypoint go = translate; }\n"
+    )
+    assert_diag(source, "LIS022", Severity.WARNING, "buildset b2")
+
+
+def test_lis023_unknown_visibility_field():
+    source = BASE + "buildset b3 { visibility show zz; entrypoint go = translate; }\n"
+    assert_diag(source, "LIS023", Severity.ERROR, "zz")
+
+
+def test_lis024_partial_decode_visibility():
+    source = (
+        BASE.replace(
+            "actions translate, fetch, decode, read_s1, evaluate, writeback;",
+            "actions translate, fetch, decode, read_s1, read_s2, evaluate, "
+            "writeback;",
+        )
+        + "field v2 u32;\n"
+        + "operandname s2 source (decode, read_s2) = v2;\n"
+        + "buildset b4 { visibility hide all; visibility show s1_id; "
+        + "entrypoint go = translate, fetch, decode, read_s1, evaluate; }\n"
+    )
+    diag = assert_diag(source, "LIS024", Severity.WARNING, "buildset b4")
+    assert "s2_id" in diag.message
+
+
+def test_lis030_syscall_under_speculation():
+    source = (
+        BASE
+        + "instruction SYS format f { match opcode == 5; }\n"
+        + "action SYS@evaluate = %{ __syscall() %}\n"
+        + "buildset sp { speculation on; "
+        + "entrypoint go = translate, fetch, decode, read_s1, evaluate; }\n"
+    )
+    diag = assert_diag(source, "LIS030", Severity.ERROR, "action SYS@evaluate")
+    assert "__syscall" in diag.message
+    assert "sp" in diag.message
+
+
+def test_lis031_unjournaled_container_store():
+    source = (
+        BASE
+        + "sreg y u32;\n"
+        + "instruction STY format f { match opcode == 6; }\n"
+        + "action STY@evaluate = %{ y[0] = 1 %}\n"
+        + "buildset sp { speculation on; "
+        + "entrypoint go = translate, fetch, decode, read_s1, evaluate; }\n"
+    )
+    diag = assert_diag(source, "LIS031", Severity.ERROR, "action STY@evaluate")
+    assert "'y'" in diag.message
+
+
+def test_lis040_unknown_call_in_accessor():
+    source = (
+        BASE
+        + "accessor Bad(n) { decode %{ index = n %} "
+        + "read %{ value = mystery(n) %} write %{ pass %} }\n"
+    )
+    diag = assert_diag(source, "LIS040", Severity.ERROR, "accessor Bad")
+    assert "'mystery'" in diag.message
+
+
+def test_lis041_effect_in_decode_accessor():
+    source = (
+        BASE
+        + "accessor ED(n) { decode %{ __mem_write(n, 4, 0) %} "
+        + "read %{ value = 0 %} write %{ pass %} }\n"
+    )
+    assert_diag(source, "LIS041", Severity.ERROR, "accessor ED")
+
+
+def test_lis042_shadowed_builtin():
+    source = (
+        BASE
+        + "instruction SH format f { match opcode == 7; }\n"
+        + "action SH@evaluate = %{ sext = 1 %}\n"
+    )
+    diag = assert_diag(source, "LIS042", Severity.WARNING, "action SH@evaluate")
+    assert "'sext'" in diag.message
+
+
+def test_lis043_unused_accessor():
+    source = (
+        BASE
+        + "accessor Unused(n) { decode %{ index = n %} "
+        + "read %{ value = R[index] %} write %{ pass %} }\n"
+    )
+    assert_diag(source, "LIS043", Severity.WARNING, "accessor Unused")

@@ -1,0 +1,48 @@
+"""Decode-space uniqueness, tested with Hypothesis.
+
+For each shipped ISA: take any instruction's decode pattern, fill the
+don't-care bits with random data, and the resulting word must (a) match
+exactly that one instruction across every pattern of every instruction
+and (b) round-trip through the spec's decode dispatch tables back to the
+same instruction.  This dynamically cross-checks what the linter's
+decode-space pass (LIS001/LIS002/LIS003) establishes statically — the
+two model overlap differently, so a divergence in either shows up here.
+"""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.base import available_isas, get_bundle
+
+
+@lru_cache(maxsize=None)
+def _spec(isa: str):
+    return get_bundle(isa).load_spec()
+
+
+@pytest.mark.parametrize("isa", available_isas())
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_every_encodable_word_decodes_to_exactly_one_instruction(isa, data):
+    spec = _spec(isa)
+    index = data.draw(
+        st.integers(0, len(spec.instructions) - 1), label="instruction"
+    )
+    instr = spec.instructions[index]
+    mask, value = data.draw(st.sampled_from(list(instr.patterns)), label="pattern")
+    word_bits = spec.ilen * 8
+    fill = data.draw(st.integers(0, (1 << word_bits) - 1), label="fill")
+    word = (value | (fill & ~mask)) & ((1 << word_bits) - 1)
+
+    matches = [
+        i
+        for i, candidate in enumerate(spec.instructions)
+        if any(word & m == v for m, v in candidate.patterns)
+    ]
+    assert matches == [index], (
+        f"word {word:#x} matches "
+        f"{[spec.instructions[i].name for i in matches]}"
+    )
+    assert spec.decode(word) == index
