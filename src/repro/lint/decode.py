@@ -90,15 +90,17 @@ def find_pattern_conflicts(
                     kind = classify_overlap(pa, pb)
                     if kind is None:
                         continue
+                    # Orient into fresh names: pa/pb must stay bound to the
+                    # original patterns for the remaining inner iterations.
                     if kind == "b_specializes":
                         a, b = second, first
-                        pa, pb = pb, pa
-                        kind = "specializes"
-                    elif kind == "a_specializes":
-                        a, b = first, second
+                        pat_a, pat_b = pb, pa
                         kind = "specializes"
                     else:
                         a, b = first, second
+                        pat_a, pat_b = pa, pb
+                        if kind == "a_specializes":
+                            kind = "specializes"
                     key = (a.name, b.name, kind)
                     if key in seen:
                         continue
@@ -108,8 +110,8 @@ def find_pattern_conflicts(
                             kind=kind,
                             a=a.name,
                             b=b.name,
-                            pattern_a=pa,
-                            pattern_b=pb,
+                            pattern_a=pat_a,
+                            pattern_b=pat_b,
                             a_loc=getattr(a, "loc", None),
                             b_loc=getattr(b, "loc", None),
                         )

@@ -95,13 +95,21 @@ def check_hygiene(spec: IsaSpec) -> list[Diagnostic]:
             )
 
     # -- LIS042 over instruction action snippets ------------------------------
-    seen: set[tuple[str, int | None, str]] = set()
+    seen: set[tuple[object, ...]] = set()
     for instr in spec.instructions:
         for action, stmts in instr.action_code.items():
             facts = snippets.analyze_stmts(list(stmts))
             loc: SourceLoc | None = instr.action_locs.get(action) or instr.loc
             for shadowed in sorted(facts.writes & shadowable):
-                key = (loc.filename if loc else "", loc.line if loc else None, shadowed)
+                # Dedup by snippet source location so a class-level snippet
+                # shared by many instructions reports once; loc-less
+                # snippets fall back to their (instruction, action) identity
+                # so distinct snippets are not collapsed together.
+                key = (
+                    (loc.filename, loc.line, shadowed)
+                    if loc is not None
+                    else (instr.name, action, shadowed)
+                )
                 if key in seen:
                     continue
                 seen.add(key)

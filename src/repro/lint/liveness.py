@@ -136,38 +136,65 @@ def _walk_reads_before_write(
     return defined
 
 
+def _reached_action_sequences(spec: IsaSpec) -> list[tuple[str, ...]]:
+    """Distinct ordered action subsets some buildset actually runs.
+
+    Entrypoints invoke a subset of the declared actions, always in
+    specification order; a field written only by an action a buildset
+    never runs is undefined for that buildset even though the whole
+    ``action_order`` would define it.  Specs without buildsets are
+    checked over the full action order.
+    """
+    if not spec.buildsets:
+        return [tuple(spec.action_order)]
+    sequences: list[tuple[str, ...]] = []
+    for buildset in spec.buildsets.values():
+        reached = {a for ep in buildset.entrypoints for a in ep.actions}
+        seq = tuple(a for a in spec.action_order if a in reached)
+        if seq not in sequences:
+            sequences.append(seq)
+    return sequences
+
+
 def check_read_before_write(spec: IsaSpec) -> list[Diagnostic]:
     """LIS012: fields an instruction may read before anything wrote them.
 
-    Actions are walked in specification order (the order every buildset's
-    entrypoints preserve), threading the defined set across actions.  Only
-    declared fields are reported — snippet locals are the code
-    generator's business.
+    Checked per buildset: the defined set is threaded across the actions
+    that buildset's entrypoints actually invoke (in specification order),
+    so a read served by an action only *other* buildsets run is still
+    reported.  Only declared fields are reported — snippet locals are the
+    code generator's business.
     """
     diags: list[Diagnostic] = []
     globals_ = _spec_globals(spec)
     field_names = set(spec.fields)
+    reported: set[tuple[str, str, str]] = set()
     for instr in spec.instructions:
         known = globals_ | set(instr.format.bitfields)
-        defined: set[str] = set(_PRE_DEFINED)
-        for action in spec.action_order:
-            stmts = instr.action_code.get(action)
-            if not stmts:
-                continue
-            undefined: dict[str, None] = {}
-            _walk_reads_before_write(stmts, defined, known, undefined)
-            for name in undefined:
-                if name not in field_names:
+        for sequence in _reached_action_sequences(spec):
+            defined: set[str] = set(_PRE_DEFINED)
+            for action in sequence:
+                stmts = instr.action_code.get(action)
+                if not stmts:
                     continue
-                diags.append(
-                    make_diagnostic(
-                        "LIS012",
-                        f"instruction {instr.name!r}, action {action!r}: "
-                        f"field {name!r} may be read before any action "
-                        f"writes it (it would silently read as zero)",
-                        instr.action_locs.get(action) or instr.loc,
+                undefined: dict[str, None] = {}
+                _walk_reads_before_write(stmts, defined, known, undefined)
+                for name in undefined:
+                    if name not in field_names:
+                        continue
+                    key = (instr.name, action, name)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    diags.append(
+                        make_diagnostic(
+                            "LIS012",
+                            f"instruction {instr.name!r}, action {action!r}: "
+                            f"field {name!r} may be read before any action "
+                            f"writes it (it would silently read as zero)",
+                            instr.action_locs.get(action) or instr.loc,
+                        )
                     )
-                )
     return diags
 
 

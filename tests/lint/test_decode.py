@@ -1,0 +1,86 @@
+"""Unit tests for decode-pattern set arithmetic.
+
+Regression coverage for multi-pattern instructions: the conflict walk
+must compare every (alternative, alternative) pair against the original
+patterns — an early overlap between one pair must not perturb the
+comparisons of the remaining alternatives.
+"""
+
+from types import SimpleNamespace
+
+from repro.lint.decode import (
+    classify_overlap,
+    find_pattern_conflicts,
+    patterns_intersect,
+)
+
+
+def instr(name, *patterns):
+    return SimpleNamespace(name=name, patterns=tuple(patterns), loc=None)
+
+
+class TestClassifyOverlap:
+    def test_disjoint(self):
+        assert classify_overlap((0xFF, 0x12), (0xFF, 0x13)) is None
+
+    def test_identical(self):
+        assert classify_overlap((0xFF, 0x12), (0xFF, 0x12)) == "identical"
+
+    def test_specializes_both_directions(self):
+        assert classify_overlap((0x0F, 0x02), (0xFF, 0x12)) == "b_specializes"
+        assert classify_overlap((0xFF, 0x12), (0x0F, 0x02)) == "a_specializes"
+
+    def test_ambiguous(self):
+        # Disjoint match bits, so every shared word matches both but
+        # neither match set contains the other.
+        assert classify_overlap((0x00F, 0x002), (0xFF0, 0x120)) == "ambiguous"
+
+
+class TestFindPatternConflicts:
+    def test_ambiguous_after_specializing_alternative_not_missed(self):
+        # second's first alternative specializes first's pattern; its
+        # second alternative is ambiguous against that same pattern.  A
+        # walk that rebinds the loop pattern after the first overlap
+        # would compare (0xFF, 0x12) vs (0xFF0, 0x120) — disjoint — and
+        # silently miss the ambiguity.
+        first = instr("first", (0x0F, 0x02))
+        second = instr("second", (0xFF, 0x12), (0xFF0, 0x120))
+        assert patterns_intersect((0x0F, 0x02), (0xFF0, 0x120))
+        assert not patterns_intersect((0xFF, 0x12), (0xFF0, 0x120))
+        kinds = {c.kind for c in find_pattern_conflicts([first, second])}
+        assert kinds == {"specializes", "ambiguous"}
+
+    def test_ambiguous_conflict_reports_original_patterns(self):
+        first = instr("first", (0x0F, 0x02))
+        second = instr("second", (0xFF, 0x12), (0xFF0, 0x120))
+        conflicts = find_pattern_conflicts([first, second])
+        ambiguous = [c for c in conflicts if c.kind == "ambiguous"]
+        assert len(ambiguous) == 1
+        assert ambiguous[0].pattern_a == (0x0F, 0x02)
+        assert ambiguous[0].pattern_b == (0xFF0, 0x120)
+
+    def test_within_instruction_alternatives_never_conflict(self):
+        # second's alternatives overlap each other (legal: alternatives
+        # are OR-ed).  A walk that rebinds the loop pattern would compare
+        # second's alternatives against each other and misreport their
+        # overlap as an "identical" conflict between the two
+        # instructions.
+        first = instr("first", (0x0F, 0x02))
+        second = instr("second", (0xFF, 0x12), (0xFF, 0x12))
+        conflicts = find_pattern_conflicts([first, second])
+        assert [c.kind for c in conflicts] == ["specializes"]
+        assert conflicts[0].a == "second"
+        assert conflicts[0].b == "first"
+
+    def test_specializes_orientation(self):
+        # The more specific instruction is reported as ``a`` regardless
+        # of declaration order.
+        gen = instr("gen", (0x0F, 0x02))
+        spc = instr("spc", (0xFF, 0x12))
+        for order in ([gen, spc], [spc, gen]):
+            (conflict,) = find_pattern_conflicts(order)
+            assert conflict.kind == "specializes"
+            assert conflict.a == "spc"
+            assert conflict.b == "gen"
+            assert conflict.pattern_a == (0xFF, 0x12)
+            assert conflict.pattern_b == (0x0F, 0x02)
