@@ -1,0 +1,33 @@
+"""Checker passes.
+
+Module-level passes (``MODULE_PASSES``) take one :class:`~repro.check.
+model.ModuleModel` and return diagnostics about that module alone.
+The family-level monotonicity pass (:func:`repro.check.passes.
+monotonic.check_monotonicity`) compares sibling modules of one spec and
+is invoked separately by the runner.
+"""
+
+from __future__ import annotations
+
+from repro.check.passes.dce import check_dce
+from repro.check.passes.monotonic import check_monotonicity
+from repro.check.passes.residue import check_residue
+from repro.check.passes.speculation import check_speculation
+from repro.check.passes.visibility import check_visibility
+
+#: Every per-module pass, in report order.
+MODULE_PASSES = (
+    check_visibility,
+    check_dce,
+    check_speculation,
+    check_residue,
+)
+
+__all__ = [
+    "MODULE_PASSES",
+    "check_dce",
+    "check_monotonicity",
+    "check_residue",
+    "check_speculation",
+    "check_visibility",
+]

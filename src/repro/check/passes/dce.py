@@ -1,0 +1,203 @@
+"""Dead-code-elimination soundness and effectiveness (CHK010, CHK011).
+
+The synthesizer removes computation that is neither visible nor needed
+(PAPER.md §V.C); :mod:`repro.synth.dataflow` anchors statements with
+architectural effects so elimination can never remove them.  This pass
+validates both directions against the *generated* code:
+
+* **CHK010 (soundness)** — for every instruction, re-derive the set of
+  anchored effects from the assembled spec statements (memory writes,
+  syscalls, register-file stores) and verify each survives in the
+  instruction's generated body or bodies, along with exactly one
+  architectural ``pc`` commit.
+* **CHK011 (effectiveness)** — no effect-free computation of a hidden
+  field survives when its result is never read again: such a statement
+  should have been eliminated.  Warning severity: a stale value is
+  wasted work, not wrong execution.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.adl.snippets import analyze_stmt
+from repro.check.model import (
+    CARRY_PREFIX,
+    FunctionModel,
+    ModuleModel,
+    calls,
+    name_assignments,
+    names_loaded,
+    subscript_stores,
+)
+from repro.diag.core import Diagnostic
+from repro.synth.codegen import assemble_instruction_stmts
+
+#: spec-level effect primitive -> call site it must compile to
+_EFFECT_CALLS = {
+    "__mem_write": "__mem.write",
+    "__syscall": "self._do_syscall",
+}
+
+
+def check_dce(model: ModuleModel) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    if not model.body_functions():
+        return diags  # block modules translate bodies at run time
+    for index, instr in enumerate(model.spec.instructions):
+        bodies = model.functions_of_instruction(index)
+        if not bodies:
+            diags.append(
+                model.diagnostic(
+                    "CHK010",
+                    f"instruction {instr.name} has no generated body in "
+                    f"buildset {model.buildset.name!r}",
+                )
+            )
+            continue
+        _check_anchored_effects(model, instr, bodies, diags)
+    for fn in model.body_functions():
+        _check_dead_computation(model, fn, diags)
+    return diags
+
+
+# -- CHK010: anchored effects survive ------------------------------------------
+
+
+def _expected_effects(model: ModuleModel, instr) -> tuple[set[str], set[str]]:
+    """(effect primitives, regfiles written) the spec anchors for ``instr``."""
+    effects: set[str] = set()
+    regfile_writes: set[str] = set()
+    regfiles = set(model.spec.regfiles)
+    for tagged in assemble_instruction_stmts(model.plan, instr):
+        facts = analyze_stmt(tagged.stmt)
+        effects |= facts.effects & set(_EFFECT_CALLS)
+        regfile_writes |= facts.subscript_writes & regfiles
+    return effects, regfile_writes
+
+
+def _check_anchored_effects(
+    model: ModuleModel,
+    instr,
+    bodies: list[FunctionModel],
+    diags: list[Diagnostic],
+) -> None:
+    effects, regfile_writes = _expected_effects(model, instr)
+    generated_calls = {
+        name for fn in bodies for name, _node in calls(fn.node)
+    }
+    generated_substores = {
+        base for fn in bodies for base, _stmt in subscript_stores(fn.node)
+    }
+    anchor = bodies[0]
+    for primitive in sorted(effects):
+        call = _EFFECT_CALLS[primitive]
+        if call not in generated_calls:
+            diags.append(
+                model.diagnostic(
+                    "CHK010",
+                    f"instruction {instr.name}: anchored effect "
+                    f"{primitive} ({call}) was eliminated from the "
+                    f"generated body",
+                    function=anchor.name,
+                    loc_override=instr.loc,
+                )
+            )
+    for regfile in sorted(regfile_writes):
+        if regfile not in generated_substores:
+            diags.append(
+                model.diagnostic(
+                    "CHK010",
+                    f"instruction {instr.name}: anchored register-file "
+                    f"store to {regfile!r} was eliminated from the "
+                    f"generated body",
+                    function=anchor.name,
+                    loc_override=instr.loc,
+                )
+            )
+    commits = _pc_commits(bodies)
+    if len(commits) != 1:
+        diags.append(
+            model.diagnostic(
+                "CHK010",
+                f"instruction {instr.name}: expected exactly one "
+                f"architectural pc commit, found {len(commits)}",
+                lineno=commits[1].lineno if len(commits) > 1 else None,
+                function=anchor.name,
+                loc_override=instr.loc,
+            )
+        )
+
+
+def _pc_commits(bodies: list[FunctionModel]) -> list[ast.stmt]:
+    out: list[ast.stmt] = []
+    for fn in bodies:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "pc"
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "__state"
+                    ):
+                        out.append(node)
+    return out
+
+
+# -- CHK011: dead hidden computation does not survive --------------------------
+
+
+def _check_dead_computation(
+    model: ModuleModel, fn: FunctionModel, diags: list[Diagnostic]
+) -> None:
+    hidden = set(model.spec.fields) - set(model.buildset.visible)
+    pure = set(model.plan.pure_names) | {"sext"}
+    loads = names_loaded(fn.node)
+    stores = [
+        (name, stmt)
+        for name, stmt in name_assignments(fn.node)
+        if name in hidden
+    ]
+    carried = _carried_names(fn.node)
+    for name, stmt in stores:
+        if name in carried:
+            continue  # carried to a later step call: live by construction
+        if not _is_pure_expr(stmt.value, pure):
+            continue  # the right-hand side has (or may have) effects
+        if any(load == name and line > stmt.lineno for load, line in loads):
+            continue  # read later in this function
+        diags.append(
+            model.diagnostic(
+                "CHK011",
+                f"{fn.name} computes hidden field {name!r} which is "
+                f"never read afterwards; elimination should have "
+                f"removed it",
+                node=stmt,
+                function=fn.name,
+            )
+        )
+
+
+def _carried_names(fn: ast.FunctionDef) -> set[str]:
+    """Locals stored into mangled ``di._c_*`` carry slots."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr.startswith(CARRY_PREFIX)
+                ):
+                    out.add(target.attr[len(CARRY_PREFIX):])
+    return out
+
+
+def _is_pure_expr(node: ast.expr, pure: set[str]) -> bool:
+    """Conservative: every call must be to a known-pure helper."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if not (isinstance(func, ast.Name) and func.id in pure):
+                return False
+    return True

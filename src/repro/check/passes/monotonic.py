@@ -1,0 +1,100 @@
+"""Detail monotonicity across sibling interfaces (CHK030).
+
+Table II's informational-detail ladder (Min ⊂ Decode ⊂ All) is a
+*subset* relation on visibility: a higher-detail interface shows a
+superset of what a lower-detail one shows.  Because all interfaces are
+synthesized from the one specification, the generated record-store sets
+must nest the same way — per instruction, everything a Min module
+stores must also be stored by the sibling Decode module, and so on.  A
+violation means two interfaces disagree about the same instruction's
+observable facts, which is exactly the divergence the single
+specification principle exists to prevent.
+
+The pass induces the partial order from the buildsets' visible sets
+(naming-independent), compares per-instruction ``di.<field>`` store
+sets for One/Step modules, and compares record layouts (``__slots__``)
+for all semantic details including Block, whose bodies are translated
+at run time.
+"""
+
+from __future__ import annotations
+
+from repro.check.model import (
+    CARRY_PREFIX,
+    RECORD_BOOKKEEPING,
+    ModuleModel,
+    attribute_stores,
+)
+from repro.diag.core import Diagnostic
+
+
+def check_monotonicity(models: list[ModuleModel]) -> list[Diagnostic]:
+    """Compare sibling modules of one spec; order-insensitive."""
+    diags: list[Diagnostic] = []
+    groups: dict[tuple[str, bool], list[ModuleModel]] = {}
+    for model in models:
+        key = (model.buildset.semantic_detail, model.buildset.speculation)
+        groups.setdefault(key, []).append(model)
+    for siblings in groups.values():
+        for narrow in siblings:
+            for wide in siblings:
+                if narrow is wide:
+                    continue
+                nv = set(narrow.buildset.visible)
+                wv = set(wide.buildset.visible)
+                if nv < wv:
+                    _check_pair(narrow, wide, diags)
+    return diags
+
+
+def _check_pair(
+    narrow: ModuleModel, wide: ModuleModel, diags: list[Diagnostic]
+) -> None:
+    missing_slots = narrow.field_slots() - wide.field_slots()
+    for slot in sorted(missing_slots):
+        diags.append(
+            narrow.diagnostic(
+                "CHK030",
+                f"record slot {slot!r} exists in "
+                f"{narrow.buildset.name!r} but not in the higher-detail "
+                f"sibling {wide.buildset.name!r}",
+            )
+        )
+    for index, instr in enumerate(narrow.spec.instructions):
+        stores_narrow = _store_set(narrow, index)
+        stores_wide = _store_set(wide, index)
+        if stores_narrow is None or stores_wide is None:
+            continue  # block modules have no static per-instruction bodies
+        for name in sorted(stores_narrow - stores_wide):
+            diags.append(
+                narrow.diagnostic(
+                    "CHK030",
+                    f"instruction {instr.name}: field {name!r} is stored "
+                    f"by {narrow.buildset.name!r} but not by the "
+                    f"higher-detail sibling {wide.buildset.name!r}",
+                    loc_override=instr.loc,
+                )
+            )
+
+
+def _store_set(model: ModuleModel, index: int) -> set[str] | None:
+    """Spec fields one instruction's interface calls store, entries included."""
+    bodies = model.functions_of_instruction(index)
+    if not bodies:
+        return None
+    stored: set[str] = set()
+    for fn in bodies:
+        stored |= _record_fields(model, fn)
+    for fn in model.entry_functions():
+        stored |= _record_fields(model, fn)
+    return stored
+
+
+def _record_fields(model: ModuleModel, fn) -> set[str]:
+    return {
+        attr
+        for attr, _stmt in attribute_stores(fn.node, "di")
+        if attr not in RECORD_BOOKKEEPING
+        and not attr.startswith(CARRY_PREFIX)
+        and attr in model.spec.fields
+    }

@@ -1,0 +1,246 @@
+"""Speculation undo coverage at the codegen level (CHK020, CHK021).
+
+A speculative interface (``speculation: true`` in the buildset) must be
+able to roll back any architectural write (§IV.B): the generated code
+journals the overwritten value immediately before each store.  The
+specification linter (LIS030/LIS031) proves the *spec* only writes
+through journalable primitives; this pass proves the *generated code*
+actually emits the journal plumbing:
+
+* **CHK020** — every register-file store is immediately preceded by an
+  ``__j.append(('r', ...))`` undo entry in the same block; every
+  ``__mem.write`` by an ``('m', ...)`` entry; every special-register
+  commit is covered by an ``('s', ...)`` entry in the same function.
+* **CHK021** — the journal lifecycle is intact: per instruction there
+  is exactly one journal creation (``[('p', pc)]``) and exactly one
+  publication (``__state.journal.append``); a non-speculative module
+  must contain no journal machinery at all.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.model import (
+    FunctionModel,
+    ModuleModel,
+    statement_blocks,
+    subscript_stores,
+)
+from repro.diag.core import Diagnostic
+
+
+def check_speculation(model: ModuleModel) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    if not model.body_functions():
+        return diags  # block modules journal inside the runtime translator
+    if not model.buildset.speculation:
+        _check_no_journal_machinery(model, diags)
+        return diags
+    regfiles = set(model.spec.regfiles)
+    for fn in model.body_functions():
+        _check_write_coverage(model, fn, regfiles, diags)
+    for index, instr in enumerate(model.spec.instructions):
+        bodies = model.functions_of_instruction(index)
+        if bodies:
+            _check_lifecycle(model, instr, bodies, diags)
+    return diags
+
+
+# -- CHK020: every architectural write is dominated by an undo append ----------
+
+
+def _check_write_coverage(
+    model: ModuleModel,
+    fn: FunctionModel,
+    regfiles: set[str],
+    diags: list[Diagnostic],
+) -> None:
+    for block in statement_blocks(fn.node):
+        for position, stmt in enumerate(block):
+            kind = _arch_write_kind(stmt, regfiles)
+            if kind is None:
+                continue
+            prev = block[position - 1] if position else None
+            tag = {"regfile": "r", "memory": "m"}[kind]
+            if _journal_append_tag(prev) != tag:
+                diags.append(
+                    model.diagnostic(
+                        "CHK020",
+                        f"{fn.name}: {kind} write is not immediately "
+                        f"preceded by a journal {tag!r} undo entry",
+                        node=stmt,
+                        function=fn.name,
+                    )
+                )
+    _check_sreg_coverage(model, fn, diags)
+
+
+def _arch_write_kind(stmt: ast.stmt, regfiles: set[str]) -> str | None:
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in regfiles
+            ):
+                return "regfile"
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "write"
+        and isinstance(stmt.value.func.value, ast.Name)
+        and stmt.value.func.value.id == "__mem"
+    ):
+        return "memory"
+    return None
+
+
+def _journal_append_tag(stmt: ast.stmt | None) -> str | None:
+    """The undo tag of a ``__j.append(('x', ...))`` statement, if any."""
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "append"
+        and isinstance(stmt.value.func.value, ast.Name)
+        and stmt.value.func.value.id == "__j"
+        and stmt.value.args
+        and isinstance(stmt.value.args[0], ast.Tuple)
+        and stmt.value.args[0].elts
+        and isinstance(stmt.value.args[0].elts[0], ast.Constant)
+    ):
+        return stmt.value.args[0].elts[0].value
+    return None
+
+
+def _check_sreg_coverage(
+    model: ModuleModel, fn: FunctionModel, diags: list[Diagnostic]
+) -> None:
+    """``__state.sr[...] = x`` needs an ``('s', name, ...)`` entry somewhere."""
+    sreg_stores = [
+        stmt
+        for base, stmt in subscript_stores(fn.node)
+        if base == "__state.sr"
+    ]
+    if not sreg_stores:
+        return
+    covered = {
+        _sreg_entry_name(node)
+        for node in ast.walk(fn.node)
+        if isinstance(node, ast.stmt) and _journal_append_tag(node) == "s"
+    }
+    for stmt in sreg_stores:
+        name = _sreg_store_name(stmt)
+        if name not in covered:
+            diags.append(
+                model.diagnostic(
+                    "CHK020",
+                    f"{fn.name}: special-register write to {name!r} has "
+                    f"no journal 's' undo entry",
+                    node=stmt,
+                    function=fn.name,
+                )
+            )
+
+
+def _sreg_store_name(stmt: ast.Assign) -> str | None:
+    for target in stmt.targets:
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.slice, ast.Constant
+        ):
+            return target.slice.value
+    return None
+
+
+def _sreg_entry_name(stmt: ast.stmt) -> str | None:
+    tup = stmt.value.args[0]
+    if len(tup.elts) > 1 and isinstance(tup.elts[1], ast.Constant):
+        return tup.elts[1].value
+    return None
+
+
+# -- CHK021: journal lifecycle -------------------------------------------------
+
+
+def _check_lifecycle(
+    model: ModuleModel,
+    instr,
+    bodies: list[FunctionModel],
+    diags: list[Diagnostic],
+) -> None:
+    creations: list[ast.stmt] = []
+    publications: list[ast.stmt] = []
+    for fn in bodies:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and _is_journal_creation(node):
+                creations.append(node)
+            elif isinstance(node, ast.stmt) and _is_journal_publication(node):
+                publications.append(node)
+    anchor = bodies[0]
+    if len(creations) != 1:
+        diags.append(
+            model.diagnostic(
+                "CHK021",
+                f"instruction {instr.name}: expected exactly one journal "
+                f"creation, found {len(creations)}",
+                function=anchor.name,
+                loc_override=instr.loc,
+            )
+        )
+    if len(publications) != 1:
+        diags.append(
+            model.diagnostic(
+                "CHK021",
+                f"instruction {instr.name}: expected exactly one "
+                f"__state.journal.append publication, found "
+                f"{len(publications)}",
+                function=anchor.name,
+                loc_override=instr.loc,
+            )
+        )
+
+
+def _is_journal_creation(stmt: ast.Assign) -> bool:
+    """``__j = [('p', ...)]`` — the per-instruction journal entry."""
+    return (
+        isinstance(stmt.value, ast.List)
+        and len(stmt.value.elts) == 1
+        and isinstance(stmt.value.elts[0], ast.Tuple)
+        and stmt.value.elts[0].elts
+        and isinstance(stmt.value.elts[0].elts[0], ast.Constant)
+        and stmt.value.elts[0].elts[0].value == "p"
+    )
+
+
+def _is_journal_publication(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "append"
+        and isinstance(stmt.value.func.value, ast.Attribute)
+        and stmt.value.func.value.attr == "journal"
+    )
+
+
+def _check_no_journal_machinery(
+    model: ModuleModel, diags: list[Diagnostic]
+) -> None:
+    for fn in model.functions.values():
+        if fn.kind == "other":
+            continue
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Name) and node.id == "__j":
+                diags.append(
+                    model.diagnostic(
+                        "CHK021",
+                        f"{fn.name}: journal machinery present in "
+                        f"non-speculative buildset "
+                        f"{model.buildset.name!r}",
+                        node=node,
+                        function=fn.name,
+                    )
+                )
+                return  # one finding per module is enough

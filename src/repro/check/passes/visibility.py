@@ -1,0 +1,195 @@
+"""Visibility contract (CHK001, CHK002, CHK003).
+
+The paper's interface definition is a *visibility* partition: fields the
+buildset shows become dynamic-instruction record slots, everything else
+stays a hidden local inside the generated function (§IV).  This pass
+re-derives the partition from the spec and verifies the generated
+module respects it:
+
+* **CHK001** — no hidden value escapes into the record: neither as a
+  ``DynInst`` slot claiming to be a spec field, nor as a ``di.<field>``
+  store in any function.  (Step interfaces may carry hidden values
+  between calls, but only through mangled ``_c_*`` slots that are
+  explicitly not part of the visible surface.)
+* **CHK002** — every visible field the module computes is actually
+  stored: a visible spec field assigned as a local must reach a
+  ``di.<field>`` store in the same function, and every visible field
+  must have a record slot at all.
+* **CHK003** — visible fields are stored at most once per interface
+  call: no duplicate ``di.<field>`` stores within a function, and no
+  field stored both by an entry and by the bodies it dispatches to.
+"""
+
+from __future__ import annotations
+
+from repro.check.model import (
+    CARRY_PREFIX,
+    RECORD_BOOKKEEPING,
+    FunctionModel,
+    ModuleModel,
+    attribute_stores,
+    name_assignments,
+)
+from repro.diag.core import Diagnostic
+
+#: The record parameter name every generated interface function uses.
+RECORD_PARAM = "di"
+
+
+def check_visibility(model: ModuleModel) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    visible = set(model.buildset.visible)
+    spec_fields = set(model.spec.fields)
+
+    _check_slots(model, visible, spec_fields, diags)
+    entry_stored: dict[str, list[tuple[str, int]]] = {}
+    body_stored: dict[str, list[tuple[str, int]]] = {}
+    for fn in model.functions.values():
+        if fn.kind == "other":
+            continue
+        stores = [
+            (attr, stmt)
+            for attr, stmt in attribute_stores(fn.node, RECORD_PARAM)
+            if attr not in RECORD_BOOKKEEPING
+        ]
+        _check_escapes(model, fn, stores, visible, diags)
+        _check_duplicates(model, fn, stores, diags)
+        _check_computed_stored(model, fn, stores, visible, diags)
+        sink = entry_stored if fn.kind == "entry" else body_stored
+        for attr, stmt in stores:
+            if not attr.startswith(CARRY_PREFIX):
+                sink.setdefault(attr, []).append((fn.name, stmt.lineno))
+    _check_entry_body_overlap(model, entry_stored, body_stored, diags)
+    return diags
+
+
+def _check_slots(
+    model: ModuleModel,
+    visible: set[str],
+    spec_fields: set[str],
+    diags: list[Diagnostic],
+) -> None:
+    """The record layout itself must match the visibility partition."""
+    for slot in model.field_slots():
+        if slot in spec_fields and slot not in visible:
+            diags.append(
+                model.diagnostic(
+                    "CHK001",
+                    f"hidden field {slot!r} has a dynamic-instruction "
+                    f"record slot in buildset {model.buildset.name!r}",
+                )
+            )
+    for name in model.plan.trace_fields:
+        if name not in model.di_slots:
+            diags.append(
+                model.diagnostic(
+                    "CHK002",
+                    f"visible field {name!r} has no dynamic-instruction "
+                    f"record slot in buildset {model.buildset.name!r}",
+                )
+            )
+
+
+def _check_escapes(
+    model: ModuleModel,
+    fn: FunctionModel,
+    stores: list[tuple[str, object]],
+    visible: set[str],
+    diags: list[Diagnostic],
+) -> None:
+    for attr, stmt in stores:
+        if attr.startswith(CARRY_PREFIX):
+            continue  # mangled carry slot: hidden by construction
+        if attr not in visible:
+            diags.append(
+                model.diagnostic(
+                    "CHK001",
+                    f"{fn.name} stores hidden value {attr!r} into the "
+                    f"dynamic-instruction record",
+                    node=stmt,
+                    function=fn.name,
+                )
+            )
+
+
+def _check_duplicates(
+    model: ModuleModel,
+    fn: FunctionModel,
+    stores: list[tuple[str, object]],
+    diags: list[Diagnostic],
+) -> None:
+    seen: dict[str, object] = {}
+    for attr, stmt in stores:
+        if attr.startswith(CARRY_PREFIX):
+            continue
+        if attr in seen:
+            diags.append(
+                model.diagnostic(
+                    "CHK003",
+                    f"{fn.name} stores visible field {attr!r} more than "
+                    f"once (first at line {seen[attr].lineno})",
+                    node=stmt,
+                    function=fn.name,
+                )
+            )
+        else:
+            seen[attr] = stmt
+
+
+def _check_computed_stored(
+    model: ModuleModel,
+    fn: FunctionModel,
+    stores: list[tuple[str, object]],
+    visible: set[str],
+    diags: list[Diagnostic],
+) -> None:
+    """A visible field computed as a local must reach the record."""
+    stored = {attr for attr, _stmt in stores}
+    flagged: set[str] = set()
+    for name, stmt in name_assignments(fn.node):
+        if name not in visible or name in stored or name in flagged:
+            continue
+        if _is_record_load(stmt):
+            continue  # re-materialized from the record, not a new value
+        flagged.add(name)
+        diags.append(
+            model.diagnostic(
+                "CHK002",
+                f"{fn.name} computes visible field {name!r} but never "
+                f"stores it into the dynamic-instruction record",
+                node=stmt,
+                function=fn.name,
+            )
+        )
+
+
+def _is_record_load(stmt) -> bool:
+    import ast
+
+    value = stmt.value
+    return (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id == RECORD_PARAM
+    )
+
+
+def _check_entry_body_overlap(
+    model: ModuleModel,
+    entry_stored: dict[str, list[tuple[str, int]]],
+    body_stored: dict[str, list[tuple[str, int]]],
+    diags: list[Diagnostic],
+) -> None:
+    """One interface call = one entry + one body; stores must not overlap."""
+    for attr in sorted(set(entry_stored) & set(body_stored)):
+        entry_fn, entry_line = entry_stored[attr][0]
+        body_fn, body_line = body_stored[attr][0]
+        diags.append(
+            model.diagnostic(
+                "CHK003",
+                f"visible field {attr!r} is stored both by entry "
+                f"{entry_fn} (line {entry_line}) and by body {body_fn}",
+                lineno=body_line,
+                function=body_fn,
+            )
+        )

@@ -1,0 +1,129 @@
+"""Check orchestration: generated modules -> diagnostics.
+
+Three entry points, mirroring :mod:`repro.lint.runner`:
+
+* :func:`check_generated` — validate one synthesized module (this is
+  also the ``synthesize(strict=True)`` gate).
+* :func:`check_spec` — synthesize and validate every buildset of an
+  analyzed spec, including the cross-interface monotonicity pass.
+* :func:`check_isa` — what ``repro check <isa>`` uses: load the
+  bundle, check the whole spec, honor ``// check: disable=`` inline
+  suppressions in the ``.lis`` sources.
+
+Everything here is static: modules are parsed, never executed.  A pass
+crashing on a module is itself a finding (CHK000), not a checker
+crash — a malformed generated module is precisely what this tool
+exists to catch.
+"""
+
+from __future__ import annotations
+
+from repro.check.codes import make_diagnostic
+from repro.check.model import ModuleModel
+from repro.check.passes import MODULE_PASSES, check_monotonicity
+from repro.diag.core import Diagnostic, DiagnosticResult
+from repro.diag.suppress import SuppressionIndex
+
+#: Check results are plain shared diagnostic results.
+CheckResult = DiagnosticResult
+
+
+def check_module(model: ModuleModel) -> list[Diagnostic]:
+    """Run every per-module pass; unsorted, unsuppressed diagnostics."""
+    diags: list[Diagnostic] = []
+    for check in MODULE_PASSES:
+        try:
+            diags.extend(check(model))
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            diags.append(_engine_failure(model, check.__name__, exc))
+    return diags
+
+
+def check_generated(
+    generated, source: str | None = None
+) -> CheckResult:
+    """Validate one :class:`~repro.synth.synthesizer.GeneratedSimulator`.
+
+    ``source`` overrides the module text (injected-defect tests verify
+    each check catches its defect class by mutating a clean module).
+    """
+    name = f"{generated.plan.spec.name}/{generated.plan.buildset.name}"
+    try:
+        model = ModuleModel.build(generated, source)
+    except SyntaxError as exc:
+        return _finish(
+            (name,),
+            [
+                make_diagnostic(
+                    "CHK000",
+                    f"generated module {name} failed to parse: {exc}",
+                )
+            ],
+        )
+    return _finish((name,), check_module(model))
+
+
+def check_spec(spec, options=None, buildsets=None) -> CheckResult:
+    """Synthesize and validate every buildset of an analyzed spec."""
+    from repro.synth import SynthOptions, synthesize
+
+    options = options or SynthOptions()
+    names = list(buildsets) if buildsets is not None else sorted(spec.buildsets)
+    diags: list[Diagnostic] = []
+    models: list[ModuleModel] = []
+    for name in names:
+        try:
+            generated = synthesize(spec, name, options)
+            model = ModuleModel.build(generated)
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            diags.append(
+                make_diagnostic(
+                    "CHK000",
+                    f"buildset {name!r} failed to synthesize or parse: {exc}",
+                    loc=spec.buildsets[name].loc if name in spec.buildsets else None,
+                )
+            )
+            continue
+        models.append(model)
+        diags.extend(check_module(model))
+    try:
+        diags.extend(check_monotonicity(models))
+    except Exception as exc:  # noqa: BLE001
+        diags.append(
+            make_diagnostic(
+                "CHK000", f"monotonicity pass failed on {spec.name}: {exc}"
+            )
+        )
+    paths = tuple(f"{spec.name}/{name}" for name in names)
+    return _finish(paths, diags)
+
+
+def check_isa(isa: str, options=None, buildsets=None) -> CheckResult:
+    """Check every synthesized interface of one instruction set.
+
+    Inline ``// check: disable=CHKxxx`` comments in the ``.lis``
+    sources suppress findings attributed to that spec line, exactly as
+    ``// lint: disable=`` does for the linter.
+    """
+    from repro.isa.base import get_bundle
+
+    spec = get_bundle(isa).load_spec()
+    return check_spec(spec, options=options, buildsets=buildsets)
+
+
+def _finish(paths: tuple[str, ...], diags: list[Diagnostic]) -> CheckResult:
+    # The on-demand index reads the .lis files the diagnostics point at,
+    # so ``// check: disable=`` works without threading sources through.
+    marked = SuppressionIndex().apply(diags)
+    marked.sort(key=Diagnostic.sort_key)
+    return CheckResult(paths=paths, diagnostics=marked)
+
+
+def _engine_failure(
+    model: ModuleModel, pass_name: str, exc: Exception
+) -> Diagnostic:
+    name = f"{model.spec.name}/{model.buildset.name}"
+    return make_diagnostic(
+        "CHK000",
+        f"pass {pass_name} failed on {name}: {type(exc).__name__}: {exc}",
+    )

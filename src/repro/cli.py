@@ -13,6 +13,8 @@
     python -m repro disasm alpha prog.s           # assemble + disassemble
     python -m repro lint alpha                    # static-check the spec
     python -m repro lint alpha --format=json      # machine-readable
+    python -m repro check alpha                   # validate generated modules
+    python -m repro check alpha --costs           # + static cost predictions
     python -m repro table1 [--json]               # Table I analogue
 """
 
@@ -237,16 +239,66 @@ def _cmd_stats(args) -> int:
     return 1 if failures else 0
 
 
+def _require_isa(name: str) -> str:
+    """Exit 2 with the known-ISA list instead of a traceback (or argparse
+    usage noise) when a static-analysis command names an unknown ISA."""
+    known = available_isas()
+    if name not in known:
+        print(
+            f"repro: unknown ISA {name!r}; known ISAs: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return name
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import render_json, render_text as render_lint_text
     from repro.lint.runner import lint_paths
 
-    bundle = get_bundle(args.isa)
+    bundle = get_bundle(_require_isa(args.isa))
     result = lint_paths([str(p) for p in bundle.description_paths()])
     if args.format == "json":
         print(render_json(result))
     else:
         print(render_lint_text(result, show_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
+def _cmd_check(args) -> int:
+    from repro.check import check_isa, cost_report
+    from repro.check import render_json as render_check_json
+    from repro.check import render_text as render_check_text
+
+    isa = _require_isa(args.isa)
+    result = check_isa(isa, buildsets=args.buildset or None)
+    if args.format == "json":
+        doc = json.loads(render_check_json(result))
+        if args.costs:
+            doc["cost_model"] = cost_report(isa)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            render_check_text(result, show_suppressed=args.show_suppressed)
+        )
+        if args.costs:
+            report = cost_report(isa)
+            rows = [
+                [name, c["entry"], c["body"], c["total"]]
+                for name, c in report["predictions"].items()
+            ]
+            print(
+                render_table(
+                    f"Static host-op predictions for {isa} "
+                    f"(bytecode-length model)",
+                    ["buildset", "entry", "body", "total"],
+                    rows,
+                )
+            )
+            deltas = ", ".join(
+                f"{k}: {v:+.2f}" for k, v in report["deltas"].items()
+            )
+            print(f"Table III-style deltas: {deltas}")
     return result.exit_code
 
 
@@ -359,7 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint", help="run static analysis over an ISA's specification files"
     )
-    p_lint.add_argument("isa", choices=available_isas())
+    p_lint.add_argument("isa")
     p_lint.add_argument(
         "--format",
         choices=("text", "json"),
@@ -370,6 +422,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-suppressed",
         action="store_true",
         help="include suppressed diagnostics in text output",
+    )
+
+    p_check = sub.add_parser(
+        "check",
+        help="validate every synthesized interface module of an ISA "
+        "against its specification (translation validation)",
+    )
+    p_check.add_argument("isa")
+    p_check.add_argument(
+        "--buildset",
+        action="append",
+        help="restrict to one buildset (repeatable); default: all",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_check.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed diagnostics in text output",
+    )
+    p_check.add_argument(
+        "--costs",
+        action="store_true",
+        help="also report the static host-op cost predictions",
     )
 
     p_t1 = sub.add_parser("table1", help="print the Table I analogue")
@@ -385,6 +465,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "kernels": _cmd_kernels,
     "lint": _cmd_lint,
+    "check": _cmd_check,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
 }

@@ -1,0 +1,43 @@
+"""Shared diagnostics core for repro's static-analysis tools.
+
+Both the specification linter (:mod:`repro.lint`, ``LIS0xx`` codes) and
+the generated-code checker (:mod:`repro.check`, ``CHK0xx`` codes) are
+built on this module: one :class:`Diagnostic` model, one severity
+ranking, one code registry, one pair of text/JSON renderers and one
+inline-comment suppression mechanism.  Factoring them here guarantees
+the two tools behave identically — same output formats, same exit-code
+convention, same ``disable=`` comments.
+
+Each tool registers its own codes with :func:`register_codes`; code
+prefixes keep the namespaces disjoint.
+"""
+
+from repro.diag.core import (
+    CodeInfo,
+    Diagnostic,
+    DiagnosticResult,
+    REGISTRY,
+    Severity,
+    make_diagnostic,
+    register_codes,
+    registered_codes,
+)
+from repro.diag.render import diagnostic_to_dict, render_json, render_text
+from repro.diag.suppress import SuppressionIndex, loc_line, parse_disables
+
+__all__ = [
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticResult",
+    "REGISTRY",
+    "Severity",
+    "SuppressionIndex",
+    "diagnostic_to_dict",
+    "loc_line",
+    "make_diagnostic",
+    "parse_disables",
+    "register_codes",
+    "registered_codes",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,75 @@
+"""Text and JSON rendering of diagnostic results (lint and check alike).
+
+The JSON form is stable: a fixed ``version``, diagnostics sorted by
+(file, line, column, code, message), and ``sort_keys`` everywhere, so CI
+can diff two runs textually.  Both :mod:`repro.lint` and
+:mod:`repro.check` emit this exact document shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.diag.core import Diagnostic, DiagnosticResult
+
+#: Bump when the JSON document shape changes incompatibly.
+JSON_FORMAT_VERSION = 1
+
+
+def _loc_str(diag: Diagnostic) -> str:
+    if diag.loc is None:
+        if diag.gen_loc is not None:
+            return f"{diag.gen_loc.filename}:{diag.gen_loc.line}"
+        return "<spec>"
+    return f"{diag.loc.filename}:{diag.loc.line}:{diag.loc.column}"
+
+
+def render_text(result: DiagnosticResult, *, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for diag in sorted(result.diagnostics, key=Diagnostic.sort_key):
+        if diag.suppressed and not show_suppressed:
+            continue
+        tag = " (suppressed)" if diag.suppressed else ""
+        gen = ""
+        if diag.gen_loc is not None and diag.loc is not None:
+            gen = f" [generated: {diag.gen_loc.filename}:{diag.gen_loc.line}]"
+        lines.append(
+            f"{_loc_str(diag)}: {diag.severity.value}: "
+            f"{diag.code}: {diag.message}{gen}{tag}"
+        )
+    counts = result.counts()
+    lines.append(
+        f"{counts['errors']} error(s), {counts['warnings']} warning(s), "
+        f"{counts['infos']} info(s), {counts['suppressed']} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def diagnostic_to_dict(diag: Diagnostic) -> dict:
+    doc = {
+        "code": diag.code,
+        "severity": diag.severity.value,
+        "message": diag.message,
+        "suppressed": diag.suppressed,
+        "file": diag.loc.filename if diag.loc else None,
+        "line": diag.loc.line if diag.loc else None,
+        "column": diag.loc.column if diag.loc else None,
+    }
+    if diag.gen_loc is not None:
+        doc["gen_file"] = diag.gen_loc.filename
+        doc["gen_line"] = diag.gen_loc.line
+    return doc
+
+
+def render_json(result: DiagnosticResult, *, show_suppressed: bool = True) -> str:
+    diagnostics = sorted(result.diagnostics, key=Diagnostic.sort_key)
+    if not show_suppressed:
+        diagnostics = [d for d in diagnostics if not d.suppressed]
+    doc = {
+        "version": JSON_FORMAT_VERSION,
+        "paths": list(result.paths),
+        "diagnostics": [diagnostic_to_dict(d) for d in diagnostics],
+        "counts": result.counts(),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

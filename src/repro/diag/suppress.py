@@ -1,0 +1,84 @@
+"""Inline ``# lint: disable=CODE`` / ``# check: disable=CODE`` handling.
+
+A diagnostic is suppressed when the source line it points at (or the
+line of the enclosing declaration) carries a trailing comment of the
+form ``# lint: disable=LIS001`` / ``// check: disable=CHK020,LIS030``.
+Both comment styles are accepted because ``.lis`` files use ``//``
+outside snippets and ``#`` inside embedded Python, and both tool words
+are accepted by both tools — the codes themselves are namespaced, so a
+``lint:`` comment can suppress a checker finding and vice versa.
+
+Sources are read lazily from disk and cached, so suppression works both
+for the CLIs (which have the files anyway) and for the
+``synthesize(strict=True)`` gate (which only has the analyzed spec plus
+the source locations it carries).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.adl.errors import SourceLoc
+from repro.diag.core import Diagnostic
+
+_DISABLE_RE = re.compile(
+    r"(?:#|//)\s*(?:lint|check):\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+
+def parse_disables(line: str) -> frozenset[str]:
+    """Diagnostic codes disabled by a single source line."""
+    match = _DISABLE_RE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        code.strip() for code in match.group(1).split(",") if code.strip()
+    )
+
+
+class SuppressionIndex:
+    """Maps (filename, line) to the set of codes disabled on that line."""
+
+    def __init__(self, sources: dict[str, str] | None = None) -> None:
+        #: filename -> {line number -> disabled codes}; None marks a file
+        #: that could not be read (nothing suppressed there).
+        self._by_file: dict[str, dict[int, frozenset[str]] | None] = {}
+        for filename, text in (sources or {}).items():
+            self._by_file[filename] = self._index_text(text)
+
+    @staticmethod
+    def _index_text(text: str) -> dict[int, frozenset[str]]:
+        index: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            codes = parse_disables(line)
+            if codes:
+                index[lineno] = codes
+        return index
+
+    def _file_index(self, filename: str) -> dict[int, frozenset[str]] | None:
+        if filename not in self._by_file:
+            try:
+                with open(filename, encoding="utf-8") as handle:
+                    self._by_file[filename] = self._index_text(handle.read())
+            except OSError:
+                self._by_file[filename] = None
+        return self._by_file[filename]
+
+    def is_suppressed(self, diag: Diagnostic) -> bool:
+        loc = diag.loc
+        if loc is None or not loc.filename:
+            return False
+        index = self._file_index(loc.filename)
+        if not index:
+            return False
+        return diag.code in index.get(loc.line, frozenset())
+
+    def apply(self, diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+        """Return the diagnostics with suppressed ones marked as such."""
+        return [
+            d.as_suppressed() if self.is_suppressed(d) else d for d in diagnostics
+        ]
+
+
+def loc_line(loc: SourceLoc | None) -> int:
+    return loc.line if loc else 0

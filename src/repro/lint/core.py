@@ -1,40 +1,24 @@
-"""Diagnostics model for the LIS specification linter.
+"""Diagnostics catalogue for the LIS specification linter.
 
-Every finding is a :class:`Diagnostic` carrying a stable code
-(``LIS001`` …), a severity, a message and a source location.  The code
-registry below is the single place severities and one-line titles are
-defined; :mod:`docs/linting.md` documents each code with a minimal
+The shared machinery (severities, :class:`Diagnostic`, result
+aggregation) lives in :mod:`repro.diag` and is used identically by the
+generated-code checker (:mod:`repro.check`).  This module contributes
+the linter's stable ``LIS0xx`` codes to the shared registry; the code
+table below is the single place their severities and one-line titles
+are defined.  :mod:`docs/linting.md` documents each code with a minimal
 triggering specification.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field, replace
-
 from repro.adl.errors import SourceLoc
-
-
-class Severity(enum.Enum):
-    """How bad a finding is.  Only unsuppressed errors fail a lint run."""
-
-    ERROR = "error"
-    WARNING = "warning"
-    INFO = "info"
-
-    @property
-    def rank(self) -> int:
-        return {"error": 0, "warning": 1, "info": 2}[self.value]
-
-
-@dataclass(frozen=True)
-class CodeInfo:
-    """Registry entry for one stable diagnostic code."""
-
-    code: str
-    severity: Severity
-    title: str
-
+from repro.diag.core import (
+    CodeInfo,
+    Diagnostic,
+    DiagnosticResult,
+    Severity,
+    register_codes,
+)
 
 _REGISTRY: tuple[CodeInfo, ...] = (
     # -- engine ----------------------------------------------------------------
@@ -66,84 +50,27 @@ _REGISTRY: tuple[CodeInfo, ...] = (
     CodeInfo("LIS043", Severity.WARNING, "accessor is never used"),
 )
 
-CODES: dict[str, CodeInfo] = {info.code: info for info in _REGISTRY}
+#: The linter's own codes (a view into the shared registry).
+CODES: dict[str, CodeInfo] = register_codes(_REGISTRY)
 
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One linter finding."""
-
-    code: str
-    message: str
-    loc: SourceLoc | None = None
-    severity: Severity | None = None
-    suppressed: bool = False
-
-    def __post_init__(self) -> None:
-        if self.severity is None:
-            object.__setattr__(self, "severity", CODES[self.code].severity)
-
-    @property
-    def title(self) -> str:
-        return CODES[self.code].title
-
-    def sort_key(self) -> tuple:
-        loc = self.loc
-        return (
-            loc.filename if loc else "~",
-            loc.line if loc else 0,
-            loc.column if loc else 0,
-            self.code,
-            self.message,
-        )
-
-    def as_suppressed(self) -> "Diagnostic":
-        return replace(self, suppressed=True)
+#: Lint results are plain shared diagnostic results.
+LintResult = DiagnosticResult
 
 
 def make_diagnostic(
     code: str, message: str, loc: SourceLoc | None = None
 ) -> Diagnostic:
-    """Create a diagnostic with the registry's default severity."""
+    """Create a lint diagnostic with the registry's default severity."""
     if code not in CODES:
         raise KeyError(f"unknown diagnostic code {code!r}")
     return Diagnostic(code=code, message=message, loc=loc)
 
 
-@dataclass
-class LintResult:
-    """The outcome of linting one specification set."""
-
-    paths: tuple[str, ...]
-    diagnostics: list[Diagnostic] = field(default_factory=list)
-
-    def _active(self) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if not d.suppressed]
-
-    @property
-    def errors(self) -> list[Diagnostic]:
-        return [d for d in self._active() if d.severity is Severity.ERROR]
-
-    @property
-    def warnings(self) -> list[Diagnostic]:
-        return [d for d in self._active() if d.severity is Severity.WARNING]
-
-    @property
-    def infos(self) -> list[Diagnostic]:
-        return [d for d in self._active() if d.severity is Severity.INFO]
-
-    @property
-    def suppressed(self) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if d.suppressed]
-
-    @property
-    def exit_code(self) -> int:
-        return 1 if self.errors else 0
-
-    def counts(self) -> dict[str, int]:
-        return {
-            "errors": len(self.errors),
-            "warnings": len(self.warnings),
-            "infos": len(self.infos),
-            "suppressed": len(self.suppressed),
-        }
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "LintResult",
+    "Severity",
+    "make_diagnostic",
+]

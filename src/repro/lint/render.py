@@ -1,65 +1,22 @@
-"""Text and JSON rendering of lint results.
+"""Rendering of lint results — shared with the checker via :mod:`repro.diag`.
 
-The JSON form is stable: a fixed ``version``, diagnostics sorted by
-(file, line, column, code, message), and ``sort_keys`` everywhere, so CI
-can diff two runs textually.
+Kept as an import shim so existing ``repro.lint.render`` consumers keep
+working; the implementation (and the stable JSON document shape) lives
+in :mod:`repro.diag.render`.
 """
 
 from __future__ import annotations
 
-import json
+from repro.diag.render import (
+    JSON_FORMAT_VERSION,
+    diagnostic_to_dict,
+    render_json,
+    render_text,
+)
 
-from repro.lint.core import Diagnostic, LintResult
-
-#: Bump when the JSON document shape changes incompatibly.
-JSON_FORMAT_VERSION = 1
-
-
-def _loc_str(diag: Diagnostic) -> str:
-    if diag.loc is None:
-        return "<spec>"
-    return f"{diag.loc.filename}:{diag.loc.line}:{diag.loc.column}"
-
-
-def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
-    lines: list[str] = []
-    for diag in sorted(result.diagnostics, key=Diagnostic.sort_key):
-        if diag.suppressed and not show_suppressed:
-            continue
-        tag = " (suppressed)" if diag.suppressed else ""
-        lines.append(
-            f"{_loc_str(diag)}: {diag.severity.value}: "
-            f"{diag.code}: {diag.message}{tag}"
-        )
-    counts = result.counts()
-    lines.append(
-        f"{counts['errors']} error(s), {counts['warnings']} warning(s), "
-        f"{counts['infos']} info(s), {counts['suppressed']} suppressed"
-    )
-    return "\n".join(lines)
-
-
-def diagnostic_to_dict(diag: Diagnostic) -> dict:
-    return {
-        "code": diag.code,
-        "severity": diag.severity.value,
-        "message": diag.message,
-        "suppressed": diag.suppressed,
-        "file": diag.loc.filename if diag.loc else None,
-        "line": diag.loc.line if diag.loc else None,
-        "column": diag.loc.column if diag.loc else None,
-    }
-
-
-def render_json(result: LintResult, *, show_suppressed: bool = True) -> str:
-    diagnostics = sorted(result.diagnostics, key=Diagnostic.sort_key)
-    if not show_suppressed:
-        diagnostics = [d for d in diagnostics if not d.suppressed]
-    doc = {
-        "version": JSON_FORMAT_VERSION,
-        "paths": list(result.paths),
-        "diagnostics": [diagnostic_to_dict(d) for d in diagnostics],
-        "counts": result.counts(),
-        "exit_code": result.exit_code,
-    }
-    return json.dumps(doc, indent=2, sort_keys=True)
+__all__ = [
+    "JSON_FORMAT_VERSION",
+    "diagnostic_to_dict",
+    "render_json",
+    "render_text",
+]

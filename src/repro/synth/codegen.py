@@ -25,7 +25,8 @@ from repro.adl.snippets import analyze_stmt
 from repro.adl.spec import Buildset, Entrypoint, Instruction, IsaSpec
 from repro.synth.dataflow import TaggedStmt, assigned_names, eliminate_dead
 from repro.synth.errors import SynthesisError
-from repro.synth.rewrite import RewriteContext, rewrite_stmts
+from repro.synth.provenance import Provenance, SpecOrigin
+from repro.synth.rewrite import RewriteContext, rewrite_stmt, rewrite_stmts
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,9 @@ class BuildPlan:
     #: static observability metadata: per-action [total, eliminated]
     #: statement counts accumulated while generating this plan's module
     dce_stats: dict[str, list[int]] = dc_field(default_factory=dict)
+    #: generated-line -> spec-construct side-table filled during generation
+    #: (consumed by :mod:`repro.check` for diagnostic attribution)
+    provenance: Provenance = dc_field(default_factory=Provenance)
 
     @property
     def pure_names(self) -> frozenset[str]:
@@ -315,19 +319,41 @@ def zero_init_names(
 
 
 class SourceWriter:
-    """Tiny indentation-aware source accumulator."""
+    """Tiny indentation-aware source accumulator.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`Provenance`, every emitted line may
+    carry a :class:`SpecOrigin` recorded against its 1-based line number.
+    """
+
+    def __init__(self, provenance: Provenance | None = None) -> None:
         self._lines: list[str] = []
         self._indent = 0
+        self.provenance = provenance
 
-    def line(self, text: str = "") -> None:
+    def line(self, text: str = "", origin: SpecOrigin | None = None) -> None:
         self._lines.append(("    " * self._indent) + text if text else "")
+        if origin is not None and self.provenance is not None:
+            self.provenance.record_line(len(self._lines), origin)
 
-    def stmts(self, stmts: list[ast.stmt]) -> None:
+    def stmts(
+        self, stmts: list[ast.stmt], origin: SpecOrigin | None = None
+    ) -> None:
         for stmt in stmts:
             for line in ast.unparse(stmt).splitlines():
-                self.line(line)
+                self.line(line, origin)
+
+    def mark_function(self, name: str, origin: SpecOrigin) -> None:
+        if self.provenance is not None:
+            self.provenance.record_function(name, origin)
+
+    def merge(self, sub: "SourceWriter") -> None:
+        """Append a sub-writer's lines (at current indent), keeping provenance."""
+        offset = len(self._lines)
+        prefix = "    " * self._indent
+        for line in sub._lines:
+            self._lines.append(prefix + line if line else line)
+        if self.provenance is not None and sub.provenance is not None:
+            self.provenance.merge_offset(sub.provenance, offset)
 
     def indent(self) -> None:
         self._indent += 1
@@ -453,7 +479,7 @@ def generate_one_module(plan: BuildPlan) -> str:
     spec = plan.spec
     buildset = plan.buildset
     entry = buildset.entrypoints[0]
-    writer = SourceWriter()
+    writer = SourceWriter(plan.provenance)
     writer.line(f'"""Synthesized simulator: {spec.name}/{buildset.name} (one)."""')
     writer.line()
     emit_dyninst_class(writer, plan, carry_slots=[])
@@ -463,7 +489,9 @@ def generate_one_module(plan: BuildPlan) -> str:
         _emit_one_body(writer, plan, instr, index, pre_defined)
 
     # Entry function.
-    writer.line(f"def {entry.name}(self, di):")
+    entry_origin = SpecOrigin(kind="entry", detail=entry.name, loc=buildset.loc)
+    writer.mark_function(entry.name, entry_origin)
+    writer.line(f"def {entry.name}(self, di):", entry_origin)
     writer.indent()
     if plan.options.observe:
         writer.line(f"self._obs_ep[{entry.name!r}] += 1")
@@ -475,21 +503,51 @@ def generate_one_module(plan: BuildPlan) -> str:
     pre = rewrite_stmts(pre, ctx)
     if _mem_used(pre):
         writer.line("__mem = __state.mem")
-    writer.stmts(pre)
+    writer.stmts(pre, SpecOrigin(kind="predecode", loc=buildset.loc))
     emit_decode_dispatch(writer, plan, "instr_bits")
     writer.line("if __op is None:")
     writer.indent()
     writer.line("raise IllegalInstruction(pc, instr_bits)")
     writer.dedent()
     for name in sorted(pre_defined & buildset.visible):
-        writer.line(f"di.{name} = {name}")
+        writer.line(
+            f"di.{name} = {name}",
+            SpecOrigin(kind="store", detail=name, loc=_field_loc(spec, name)),
+        )
     if plan.options.profile:
         writer.line("self._hops += __EP_COST__")
-    writer.line("_B[__op](self, di, pc, instr_bits)")
+    writer.line("_B[__op](self, di, pc, instr_bits)", SpecOrigin(kind="dispatch"))
     writer.dedent()
     writer.line()
     writer.line(f"ENTRYPOINTS = {(entry.name,)!r}")
     return writer.source()
+
+
+def _field_loc(spec: IsaSpec, name: str):
+    field = spec.fields.get(name)
+    return field.loc if field is not None else None
+
+
+def _action_origin(instr: Instruction, tagged: TaggedStmt, step: int | None = None):
+    """Origin for one kept statement: its action's snippet, else the instr."""
+    return SpecOrigin(
+        instr=instr.name,
+        action=tagged.action,
+        kind="semantics",
+        step=step,
+        loc=instr.action_locs.get(tagged.action, instr.loc),
+    )
+
+
+def _rewrite_tagged(
+    kept: list[TaggedStmt], ctx: RewriteContext, instr: Instruction,
+    step: int | None = None,
+) -> list[tuple[SpecOrigin, list[ast.stmt]]]:
+    """Rewrite kept statements one by one, keeping their origins."""
+    return [
+        (_action_origin(instr, tagged, step), rewrite_stmt(tagged.stmt, ctx))
+        for tagged in kept
+    ]
 
 
 def _emit_one_body(
@@ -522,9 +580,12 @@ def _emit_one_body(
     ctx = RewriteContext(
         ilen=spec.ilen, speculate=speculate, regfiles=frozenset(spec.regfiles)
     )
-    body_stmts = rewrite_stmts([t.stmt for t in kept], ctx)
+    rewritten = _rewrite_tagged(kept, ctx, instr)
+    body_stmts = [s for _origin, stmts in rewritten for s in stmts]
 
-    writer.line(f"def _b_{index}(self, di, pc, instr_bits):")
+    body_origin = SpecOrigin(instr=instr.name, kind="body", loc=instr.loc)
+    writer.mark_function(f"_b_{index}", body_origin)
+    writer.line(f"def _b_{index}(self, di, pc, instr_bits):", body_origin)
     writer.indent()
     writer.line(f"# {instr.name}")
     if plan.options.profile:
@@ -535,23 +596,45 @@ def _emit_one_body(
     for regfile in _regfiles_used(plan, body_stmts):
         writer.line(f"{regfile} = __state.rf[{regfile!r}]")
     for sreg in sregs_bound:
-        writer.line(f"{sreg} = __state.sr[{sreg!r}]")
+        writer.line(
+            f"{sreg} = __state.sr[{sreg!r}]",
+            SpecOrigin(instr=instr.name, kind="sreg", detail=sreg),
+        )
     for name in di_loads:
         writer.line(f"{name} = di.{name}")
     if speculate:
-        writer.line("__j = [('p', pc)]")
+        journal = SpecOrigin(instr=instr.name, kind="journal", loc=instr.loc)
+        writer.line("__j = [('p', pc)]", journal)
         for sreg in sorted(sreg_writes):
-            writer.line(f"__j.append(('s', {sreg!r}, {sreg}))")
+            writer.line(f"__j.append(('s', {sreg!r}, {sreg}))", journal)
     for name in zero_inits:
-        writer.line(f"{name} = 0")
-    writer.stmts(body_stmts)
+        writer.line(
+            f"{name} = 0", SpecOrigin(instr=instr.name, kind="zero_init", detail=name)
+        )
+    for origin, stmts in rewritten:
+        writer.stmts(stmts, origin)
     for sreg in sorted(sreg_writes):
-        writer.line(f"__state.sr[{sreg!r}] = {sreg}")
+        writer.line(
+            f"__state.sr[{sreg!r}] = {sreg}",
+            SpecOrigin(instr=instr.name, kind="sreg", detail=sreg, loc=instr.loc),
+        )
     if speculate:
-        writer.line("__state.journal.append(__j)")
+        writer.line(
+            "__state.journal.append(__j)",
+            SpecOrigin(instr=instr.name, kind="journal", loc=instr.loc),
+        )
     for name in visible_stores:
-        writer.line(f"di.{name} = {name}")
-    writer.line("__state.pc = next_pc")
+        writer.line(
+            f"di.{name} = {name}",
+            SpecOrigin(
+                instr=instr.name, kind="store", detail=name,
+                loc=_field_loc(spec, name) or instr.loc,
+            ),
+        )
+    writer.line(
+        "__state.pc = next_pc",
+        SpecOrigin(instr=instr.name, kind="commit", loc=instr.loc),
+    )
     writer.dedent()
     writer.line()
 
@@ -563,18 +646,15 @@ def generate_step_module(plan: BuildPlan) -> str:
     """Source for a buildset whose entrypoints split instruction steps."""
     spec = plan.spec
     buildset = plan.buildset
-    writer = SourceWriter()
+    writer = SourceWriter(plan.provenance)
     writer.line(f'"""Synthesized simulator: {spec.name}/{buildset.name} (step)."""')
     writer.line()
 
     carry_slots: set[str] = set()
-    per_instr_steps: list[dict[int, list[str]]] = []  # rendered later
-    bodies_src: list[str] = []
+    bodies_src: list[SourceWriter] = []
 
-    speculate = buildset.speculation
     pre_defined = predecode_defined(plan)
     n_eps = len(buildset.entrypoints)
-    last_ep = n_eps - 1
 
     # Generate per-instruction, per-step bodies.
     step_tables: dict[int, list[str]] = {
@@ -583,14 +663,13 @@ def generate_step_module(plan: BuildPlan) -> str:
     for index, instr in enumerate(spec.instructions):
         sources, slots = _emit_step_bodies(plan, instr, index, pre_defined)
         carry_slots |= slots
-        for ep_index, src in sources.items():
-            bodies_src.append(src)
+        for ep_index, sub in sources.items():
+            bodies_src.append(sub)
             step_tables[ep_index].append(f"_sb_{ep_index}_{index}")
 
     emit_dyninst_class(writer, plan, sorted(carry_slots))
-    for src in bodies_src:
-        for line in src.splitlines():
-            writer.line(line)
+    for sub in bodies_src:
+        writer.merge(sub)
         writer.line()
 
     for ep_index in range(plan.decode_ep_index, n_eps):
@@ -603,20 +682,29 @@ def generate_step_module(plan: BuildPlan) -> str:
         ilen=spec.ilen, speculate=False, regfiles=frozenset(spec.regfiles)
     )
     for ep_index, ep in enumerate(buildset.entrypoints):
-        writer.line(f"def {ep.name}(self, di):")
+        entry_origin = SpecOrigin(
+            kind="entry", detail=ep.name, step=ep_index, loc=buildset.loc
+        )
+        writer.mark_function(ep.name, entry_origin)
+        writer.line(f"def {ep.name}(self, di):", entry_origin)
         writer.indent()
         if plan.options.observe:
             writer.line(f"self._obs_ep[{ep.name!r}] += 1")
         if plan.options.profile:
             writer.line(f"self._hops += __EP_COST_{ep_index}__")
+        predecode = SpecOrigin(kind="predecode", step=ep_index, loc=buildset.loc)
         if ep_index < plan.decode_ep_index:
             writer.line("__state = self.state")
             pre = rewrite_stmts(predecode_stmts(plan), ctx)
             if _mem_used(pre):
                 writer.line("__mem = __state.mem")
-            writer.stmts(pre)
+            writer.stmts(pre, predecode)
             for name in sorted(predecode_defined(plan) & buildset.visible):
-                writer.line(f"di.{name} = {name}")
+                writer.line(
+                    f"di.{name} = {name}",
+                    SpecOrigin(kind="store", detail=name,
+                               loc=_field_loc(spec, name)),
+                )
         elif ep_index == plan.decode_ep_index:
             if plan.decode_ep_index == 0:
                 # decode entry also performs the pre-decode work
@@ -624,9 +712,13 @@ def generate_step_module(plan: BuildPlan) -> str:
                 pre = rewrite_stmts(predecode_stmts(plan), ctx)
                 if _mem_used(pre):
                     writer.line("__mem = __state.mem")
-                writer.stmts(pre)
+                writer.stmts(pre, predecode)
                 for name in sorted(predecode_defined(plan) & buildset.visible):
-                    writer.line(f"di.{name} = {name}")
+                    writer.line(
+                        f"di.{name} = {name}",
+                        SpecOrigin(kind="store", detail=name,
+                                   loc=_field_loc(spec, name)),
+                    )
             else:
                 writer.line("instr_bits = di.instr_bits")
             emit_decode_dispatch(writer, plan, "instr_bits")
@@ -635,9 +727,11 @@ def generate_step_module(plan: BuildPlan) -> str:
             writer.line("raise IllegalInstruction(di.pc, instr_bits)")
             writer.dedent()
             writer.line("di._op = __op")
-            writer.line(f"_S{ep_index}[__op](self, di)")
+            writer.line(f"_S{ep_index}[__op](self, di)", SpecOrigin(kind="dispatch"))
         else:
-            writer.line(f"_S{ep_index}[di._op](self, di)")
+            writer.line(
+                f"_S{ep_index}[di._op](self, di)", SpecOrigin(kind="dispatch")
+            )
         writer.dedent()
         writer.line()
     writer.line(f"ENTRYPOINTS = {tuple(ep.name for ep in buildset.entrypoints)!r}")
@@ -649,8 +743,12 @@ def _emit_step_bodies(
     instr: Instruction,
     index: int,
     pre_defined: set[str],
-) -> tuple[dict[int, str], set[str]]:
-    """Bodies for one instruction, one per post-decode entrypoint."""
+) -> tuple[dict[int, "SourceWriter"], set[str]]:
+    """Bodies for one instruction, one per post-decode entrypoint.
+
+    Returns per-entrypoint sub-writers (merged into the module writer by
+    the caller, provenance included) plus the carry slots they need.
+    """
     spec = plan.spec
     buildset = plan.buildset
     speculate = buildset.speculation
@@ -687,17 +785,20 @@ def _emit_step_bodies(
         sure_defs_per_step[ep] = sure
         uses_per_step[ep] = uses
 
-    sources: dict[int, str] = {}
+    sources: dict[int, SourceWriter] = {}
     carry_slots: set[str] = set()
     carried_defined: set[str] = set(pre_defined)  # names available via di
     domain = assigned_names(full) | set(spec.fields) | pre_defined
     sregs = set(spec.sregs)
-    instr_writes_arch = _instr_has_journaled_writes(kept)
 
     for ep in range(plan.decode_ep_index, n_eps):
         stmts = by_step[ep]
-        writer = SourceWriter()
-        writer.line(f"def _sb_{ep}_{index}(self, di):")
+        writer = SourceWriter(Provenance())
+        body_origin = SpecOrigin(
+            instr=instr.name, kind="body", step=ep, loc=instr.loc
+        )
+        writer.mark_function(f"_sb_{ep}_{index}", body_origin)
+        writer.line(f"def _sb_{ep}_{index}(self, di):", body_origin)
         writer.indent()
         writer.line(f"# {instr.name} step {ep}")
 
@@ -716,20 +817,23 @@ def _emit_step_bodies(
         needs_state = True  # pc commit, sregs, regfiles, mem all need it
         writer.line("__state = self.state")
 
-        body_stmts_raw = [t.stmt for t in stmts]
         sreg_reads, sreg_writes = _sregs_read_written(plan, stmts)
         ctx = RewriteContext(
             ilen=spec.ilen,
             speculate=speculate,
             regfiles=frozenset(spec.regfiles),
         )
-        body_stmts = rewrite_stmts(body_stmts_raw, ctx)
+        rewritten = _rewrite_tagged(stmts, ctx, instr, step=ep)
+        body_stmts = [s for _origin, body in rewritten for s in body]
         if _mem_used(body_stmts):
             writer.line("__mem = __state.mem")
         for regfile in _regfiles_used(plan, body_stmts):
             writer.line(f"{regfile} = __state.rf[{regfile!r}]")
         for sreg in sorted(sreg_reads | sreg_writes):
-            writer.line(f"{sreg} = __state.sr[{sreg!r}]")
+            writer.line(
+                f"{sreg} = __state.sr[{sreg!r}]",
+                SpecOrigin(instr=instr.name, kind="sreg", detail=sreg, step=ep),
+            )
 
         # Loads of values produced by earlier steps: upward-exposed reads,
         # plus anything this step stores (visible/carry) but only assigns
@@ -744,20 +848,26 @@ def _emit_step_bodies(
             slot = name if name in buildset.visible else f"_c_{name}"
             if name not in buildset.visible:
                 carry_slots.add(slot)
-            writer.line(f"{name} = di.{slot}")
+            writer.line(
+                f"{name} = di.{slot}",
+                SpecOrigin(instr=instr.name, kind="carry", detail=name, step=ep),
+            )
 
+        journal = SpecOrigin(
+            instr=instr.name, kind="journal", step=ep, loc=instr.loc
+        )
         if speculate and ep == plan.decode_ep_index:
             # One journal entry per instruction, created at decode time and
             # carried through the remaining steps via the record.
-            writer.line("__j = [('p', di.pc)]")
-            writer.line("di._c___j = __j")
+            writer.line("__j = [('p', di.pc)]", journal)
+            writer.line("di._c___j = __j", journal)
             carry_slots.add("_c___j")
         elif speculate and (_step_has_journaled_writes(stmts) or sreg_writes):
-            writer.line("__j = di._c___j")
+            writer.line("__j = di._c___j", journal)
             carry_slots.add("_c___j")
         if speculate and sreg_writes:
             for sreg in sorted(sreg_writes):
-                writer.line(f"__j.append(('s', {sreg!r}, {sreg}))")
+                writer.line(f"__j.append(('s', {sreg!r}, {sreg}))", journal)
 
         predefined_step = (
             set(loads) | {"self", "di"} | sreg_reads | sreg_writes | {"pc", "instr_bits"} & set(loads)
@@ -770,28 +880,51 @@ def _emit_step_bodies(
             set(visible_now) | set(carries_out),
         )
         for name in zero_inits:
-            writer.line(f"{name} = 0")
+            writer.line(
+                f"{name} = 0",
+                SpecOrigin(instr=instr.name, kind="zero_init", detail=name, step=ep),
+            )
 
-        writer.stmts(body_stmts)
+        for origin, body in rewritten:
+            writer.stmts(body, origin)
 
         for sreg in sorted(sreg_writes):
-            writer.line(f"__state.sr[{sreg!r}] = {sreg}")
+            writer.line(
+                f"__state.sr[{sreg!r}] = {sreg}",
+                SpecOrigin(instr=instr.name, kind="sreg", detail=sreg, step=ep,
+                           loc=instr.loc),
+            )
         for name in visible_now:
-            writer.line(f"di.{name} = {name}")
+            writer.line(
+                f"di.{name} = {name}",
+                SpecOrigin(instr=instr.name, kind="store", detail=name, step=ep,
+                           loc=_field_loc(spec, name) or instr.loc),
+            )
         for name in carries_out:
             if name in buildset.visible:
                 continue  # already stored above
             slot = f"_c_{name}"
             carry_slots.add(slot)
-            writer.line(f"di.{slot} = {name}")
+            writer.line(
+                f"di.{slot} = {name}",
+                SpecOrigin(instr=instr.name, kind="carry", detail=name, step=ep),
+            )
         if ep == last_ep:
             if speculate:
-                writer.line("__state.journal.append(di._c___j)")
+                writer.line(
+                    "__state.journal.append(di._c___j)",
+                    SpecOrigin(instr=instr.name, kind="journal", step=ep,
+                               loc=instr.loc),
+                )
                 carry_slots.add("_c___j")
-            writer.line("__state.pc = di.next_pc")
+            writer.line(
+                "__state.pc = di.next_pc",
+                SpecOrigin(instr=instr.name, kind="commit", step=ep,
+                           loc=instr.loc),
+            )
         if plan.options.profile:
             writer.line(f"self._hops += __SBODY_COST_{ep}_{index}__")
-        sources[ep] = writer.source()
+        sources[ep] = writer
         carried_defined |= defs_per_step[ep]
 
     return sources, carry_slots

@@ -1,0 +1,98 @@
+"""Provenance side-table: generated lines -> originating spec constructs.
+
+The single-specification principle means users never read the generated
+modules; tooling that reports problems *about* generated code therefore
+has to translate findings back to the ``.lis`` constructs the user
+actually wrote.  During generation the :class:`~repro.synth.codegen.
+SourceWriter` records, for every emitted line, a :class:`SpecOrigin`
+describing where that line came from: which instruction, which action,
+what kind of synthetic statement (record store, journal append, commit,
+zero-init, ...) and — when the spec model carries one — the ``.lis``
+source location.  :mod:`repro.check` uses this table to attribute every
+``CHK`` diagnostic to both the generated line and the spec construct.
+
+The table is static metadata computed once at synthesis time; it adds
+nothing to the generated module itself and costs nothing at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.errors import SourceLoc
+
+#: Values for :attr:`SpecOrigin.kind`.
+KINDS = (
+    "entry",       # an interface entry function
+    "body",        # a per-instruction (or per-step) body function
+    "predecode",   # instruction-independent pre-decode statements
+    "extract",     # format bitfield extraction / synthetic defaults
+    "semantics",   # statements originating in spec action code
+    "store",       # a visible-field store into the dynamic-instruction record
+    "carry",       # a hidden-value carry store between step calls
+    "sreg",        # special-register load/store plumbing
+    "journal",     # speculation undo-journal plumbing
+    "commit",      # the architectural pc commit
+    "zero_init",   # defensive zero initialization
+    "dispatch",    # decode dispatch / body-table plumbing
+)
+
+
+@dataclass(frozen=True)
+class SpecOrigin:
+    """Where one generated line (or function) came from."""
+
+    instr: str | None = None
+    action: str | None = None
+    kind: str = "semantics"
+    #: a field / register / function name the line concerns, if any
+    detail: str | None = None
+    #: entrypoint index for step-split bodies
+    step: int | None = None
+    #: the originating ``.lis`` construct, when the spec model carries one
+    loc: SourceLoc | None = None
+
+    def describe(self) -> str:
+        parts: list[str] = [self.kind]
+        if self.instr:
+            parts.append(f"instruction {self.instr}")
+        if self.action:
+            parts.append(f"action {self.action}")
+        if self.detail:
+            parts.append(self.detail)
+        if self.step is not None:
+            parts.append(f"step {self.step}")
+        return ", ".join(parts)
+
+
+@dataclass
+class Provenance:
+    """Side-table for one generated module."""
+
+    #: 1-based generated-source line -> origin
+    lines: dict[int, SpecOrigin] = field(default_factory=dict)
+    #: generated function name -> origin
+    functions: dict[str, SpecOrigin] = field(default_factory=dict)
+
+    def record_line(self, lineno: int, origin: SpecOrigin) -> None:
+        self.lines[lineno] = origin
+
+    def record_function(self, name: str, origin: SpecOrigin) -> None:
+        self.functions[name] = origin
+
+    def origin_at(
+        self, lineno: int, function: str | None = None
+    ) -> SpecOrigin | None:
+        """Best origin for a generated line: the line's, else its function's."""
+        origin = self.lines.get(lineno)
+        if origin is not None:
+            return origin
+        if function is not None:
+            return self.functions.get(function)
+        return None
+
+    def merge_offset(self, other: "Provenance", line_offset: int) -> None:
+        """Fold a sub-writer's table in, shifting line numbers."""
+        for lineno, origin in other.lines.items():
+            self.lines[lineno + line_offset] = origin
+        self.functions.update(other.functions)

@@ -145,7 +145,9 @@ def synthesize(
         Ablation/measurement knobs (DCE, register caching, profiling).
     strict:
         Run the specification linter first and refuse to synthesize while
-        any unsuppressed error-severity diagnostic stands.
+        any unsuppressed error-severity diagnostic stands; then run the
+        generated-code checker (:mod:`repro.check`) over the synthesized
+        module and refuse if the translation itself is invalid.
     """
     if buildset_name not in spec.buildsets:
         raise SynthesisError(
@@ -202,6 +204,19 @@ def synthesize(
         mem_read_cost=_static_cost(Memory.read),
         mem_write_cost=_static_cost(Memory.write),
     )
+    if strict:
+        # Translation validation (lazy import: repro.check imports this
+        # module's products, not the other way around).
+        from repro.check.runner import check_generated
+
+        check = check_generated(generated)
+        if check.errors:
+            first = check.errors[0]
+            raise SynthesisError(
+                f"strict synthesis refused: generated module failed "
+                f"validation with {len(check.errors)} error(s), first: "
+                f"{first.code}: {first.message}"
+            )
     return generated
 
 

@@ -1,0 +1,39 @@
+"""Shared synthesized modules for the checker tests.
+
+Everything here synthesizes the toy spec (fast) once per session; the
+injected-defect tests then mutate the clean generated source and
+re-check, which costs parsing only.
+"""
+
+import pytest
+
+from repro.synth import SynthOptions, synthesize
+
+
+@pytest.fixture(scope="session")
+def gen_one_all(toy_spec):
+    return synthesize(toy_spec, "one_all")
+
+
+@pytest.fixture(scope="session")
+def gen_one_min(toy_spec):
+    return synthesize(toy_spec, "one_min")
+
+
+@pytest.fixture(scope="session")
+def gen_one_all_spec(toy_spec):
+    return synthesize(toy_spec, "one_all_spec")
+
+
+@pytest.fixture(scope="session")
+def gen_step_all(toy_spec):
+    return synthesize(toy_spec, "step_all")
+
+
+@pytest.fixture(scope="session")
+def gen_observe(toy_spec):
+    return synthesize(toy_spec, "one_all", SynthOptions(observe=True))
+
+
+def codes_of(result):
+    return sorted({d.code for d in result.diagnostics if not d.suppressed})

@@ -1,0 +1,132 @@
+"""Checker orchestration, CLI wiring, and the strict-synthesis gate."""
+
+import json
+
+import pytest
+
+from repro.check import check_generated, check_isa, check_spec
+from repro.cli import main
+from repro.isa.base import available_isas
+
+from .conftest import codes_of
+
+
+class TestCleanSweep:
+    def test_toy_spec_checks_clean(self, toy_spec):
+        result = check_spec(toy_spec)
+        assert codes_of(result) == []
+        assert result.exit_code == 0
+        assert len(result.paths) == len(toy_spec.buildsets)
+
+    def test_alpha_checks_clean_across_all_buildsets(self):
+        result = check_isa("alpha")
+        assert codes_of(result) == []
+        assert len(result.paths) == 12
+
+    def test_block_modules_are_checked_for_layout_only(self, toy_spec):
+        from repro.synth import synthesize
+
+        generated = synthesize(toy_spec, "block_min")
+        result = check_generated(generated)
+        assert codes_of(result) == []
+
+    def test_unknown_buildset_is_a_finding_not_a_crash(self, toy_spec):
+        result = check_spec(toy_spec, buildsets=["does_not_exist"])
+        assert codes_of(result) == ["CHK000"]
+        assert result.exit_code == 1
+
+
+class TestStrictSynthesis:
+    # Uses alpha rather than the toy spec: the toy deliberately carries
+    # a lint error (LIS030: SYS under speculation) that trips the
+    # earlier strict gate before the checker gets to run.
+
+    @pytest.fixture(scope="class")
+    def alpha_spec(self):
+        from repro.isa.base import get_bundle
+
+        return get_bundle("alpha").load_spec()
+
+    def test_strict_runs_the_checker(self, alpha_spec, monkeypatch):
+        """strict=True refuses to hand out a module that fails validation."""
+        from repro.synth import synthesize
+        from repro.synth.errors import SynthesisError
+        import repro.check.runner as runner
+
+        from repro.check.codes import make_diagnostic
+
+        def failing(model):
+            return [make_diagnostic("CHK001", "injected strict failure")]
+
+        monkeypatch.setattr(runner, "MODULE_PASSES", (failing,))
+        with pytest.raises(SynthesisError, match="CHK001"):
+            synthesize(alpha_spec, "one_all", strict=True)
+
+    def test_strict_passes_on_clean_spec(self, alpha_spec):
+        from repro.synth import synthesize
+
+        generated = synthesize(alpha_spec, "one_all", strict=True)
+        assert generated.buildset_name == "one_all"
+
+
+class TestCLI:
+    def test_check_text_clean(self, capsys):
+        assert main(["check", "alpha", "--buildset", "one_min"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_check_json_document_shape(self, capsys):
+        assert main(["check", "alpha", "--buildset", "one_min",
+                     "--format=json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["exit_code"] == 0
+        assert doc["paths"] == ["alpha/one_min"]
+
+    def test_check_json_with_cost_model(self, capsys):
+        assert main(["check", "alpha", "--format=json", "--costs"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        report = doc["cost_model"]
+        assert report["isa"] == "alpha"
+        assert set(report["deltas"]) == {
+            "decode", "full", "multi_call", "speculation"
+        }
+
+    @pytest.mark.parametrize("command", ["check", "lint"])
+    def test_unknown_isa_exits_2_with_known_list(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "notanisa"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown ISA 'notanisa'" in err
+        for isa in available_isas():
+            assert isa in err
+
+
+class TestSuppression:
+    def test_check_disable_comment_suppresses(self, gen_one_all, tmp_path):
+        """A ``// check: disable=`` on the attributed .lis line works."""
+        from repro.adl.errors import SourceLoc
+        from repro.check.codes import make_diagnostic
+        from repro.diag.suppress import SuppressionIndex
+
+        lis = tmp_path / "spec.lis"
+        lis.write_text("field f : u64; // check: disable=CHK002\n")
+        diag = make_diagnostic(
+            "CHK002", "f never stored", loc=SourceLoc(str(lis), 1, 1)
+        )
+        (marked,) = SuppressionIndex().apply([diag])
+        assert marked.suppressed
+
+    def test_lint_style_comment_also_suppresses_check_codes(self, tmp_path):
+        from repro.adl.errors import SourceLoc
+        from repro.check.codes import make_diagnostic
+        from repro.diag.suppress import SuppressionIndex
+
+        lis = tmp_path / "spec.lis"
+        lis.write_text("field f : u64; # lint: disable=CHK002,LIS022\n")
+        diag = make_diagnostic(
+            "CHK002", "f never stored", loc=SourceLoc(str(lis), 1, 1)
+        )
+        (marked,) = SuppressionIndex().apply([diag])
+        assert marked.suppressed

@@ -161,3 +161,51 @@ class TestSpeculationShape:
             text = ast.unparse(fn)
             assert text.count("__state.journal.append(__j)") == 1
             assert "__j = [('p', pc)]" in text
+
+
+class TestShapesValidatedByChecker:
+    """The structural claims above, re-asserted through repro.check.
+
+    The hand-written AST assertions in this file each pin one example;
+    the checker passes generalize them into per-module guarantees
+    (every hidden field a local, every journal exactly once, ...).
+    Running them here ties the two layers together: if a shape test
+    above starts failing, the corresponding CHK pass should fail too,
+    and vice versa.
+    """
+
+    def test_figure2_and_4_partition_via_visibility_pass(self, one_all, one_min):
+        from repro.check.model import ModuleModel
+        from repro.check.passes import check_visibility
+
+        for generated in (one_all, one_min):
+            assert check_visibility(ModuleModel.build(generated)) == []
+
+    def test_figure3_semantics_survive_dce_via_soundness_pass(self, one_all):
+        from repro.check.model import ModuleModel
+        from repro.check.passes import check_dce
+
+        assert check_dce(ModuleModel.build(one_all)) == []
+
+    def test_speculation_journal_shape_via_coverage_pass(self, toy_spec):
+        from repro.check.model import ModuleModel
+        from repro.check.passes import check_speculation
+
+        generated = synthesize(toy_spec, "one_all_spec")
+        assert check_speculation(ModuleModel.build(generated)) == []
+
+    def test_detail_ladder_via_monotonicity_pass(self, toy_spec):
+        from repro.check.model import ModuleModel
+        from repro.check.passes import check_monotonicity
+
+        models = [
+            ModuleModel.build(synthesize(toy_spec, name))
+            for name in ("one_min", "one_all", "step_all", "block_min")
+        ]
+        assert check_monotonicity(models) == []
+
+    def test_whole_toy_grid_passes_translation_validation(self, toy_spec):
+        from repro.check import check_spec
+
+        result = check_spec(toy_spec)
+        assert [d for d in result.diagnostics if not d.suppressed] == []
