@@ -16,7 +16,8 @@ from repro.synth import SynthOptions, synthesize
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "_results")
 
-ISAS = ("alpha", "arm", "ppc")
+# CI's bench-smoke job narrows this to one ISA for a fast sanity pass.
+ISAS = tuple(os.environ.get("REPRO_BENCH_ISAS", "alpha,arm,ppc").split(","))
 
 _GEN_CACHE = {}
 

@@ -1,0 +1,95 @@
+"""Experiment A4 — ablation: superblock formation and chaining off.
+
+Paper SV-E credits the Block level's speed to translation scope: the
+wider the window the translator sees, the more dispatch overhead it can
+eliminate.  Superblock formation (crossing fall-throughs, constant
+direct branches and self-loop back-edges at translation time) and
+direct block chaining (patching each unit's exits to call its successor
+without returning to the dispatch loop) widen that window further; this
+experiment measures what they buy.
+
+Gate: the PR-4 acceptance bar is a >= 1.25x geomean MIPS improvement
+for ``block_min`` on at least two ISAs over the same build with both
+optimizations disabled (``SynthOptions(chain=False, superblock=0)``),
+at the same scale.  Because the geomean runs over a fixed kernel set,
+the ratio of geomean MIPS equals the geomean of per-kernel ratios.
+
+Shared-machine noise can depress a ratio measured minutes apart, so an
+ISA that misses the bar is re-measured once back-to-back before the
+gate counts it as failed (same policy as Table II's ``ordered``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness import bench_scale, measure_buildset, render_table
+from repro.synth import SynthOptions
+
+#: both optimizations off; everything else (regcache, DCE, ...) as shipped
+OPTIONS_OFF = SynthOptions(chain=False, superblock=0)
+
+#: ISAs measured, overridable for quick local runs
+ISAS = tuple(
+    os.environ.get("REPRO_BENCH_CHAIN_ISAS", "alpha,arm,ppc").split(",")
+)
+
+#: the acceptance bar: geomean speedup and how many ISAs must clear it
+MIN_RATIO = float(os.environ.get("REPRO_BENCH_CHAIN_MIN", "1.25"))
+MIN_ISAS = 2
+
+
+def _ratio(isa: str) -> tuple[float, float, float]:
+    on = measure_buildset(isa, "block_min").mips
+    off = measure_buildset(isa, "block_min", options=OPTIONS_OFF).mips
+    return on, off, on / off
+
+
+def test_chaining_speedup(benchmark, publish, publish_json):
+    results = benchmark.pedantic(
+        lambda: {isa: _ratio(isa) for isa in ISAS}, rounds=1, iterations=1
+    )
+    # Re-measure near-miss ISAs back-to-back before judging the gate.
+    passing = sum(r[2] >= MIN_RATIO for r in results.values())
+    if passing < MIN_ISAS:
+        for isa in sorted(ISAS, key=lambda i: -results[i][2]):
+            if results[isa][2] < MIN_RATIO:
+                results[isa] = _ratio(isa)
+        passing = sum(r[2] >= MIN_RATIO for r in results.values())
+
+    publish_json(
+        "A4",
+        {
+            "experiment": "ablation_chaining_superblocks",
+            "unit": "geomean MIPS over the kernel suite",
+            "buildset": "block_min",
+            "scale": bench_scale(),
+            "off_options": "chain=False, superblock=0",
+            "mips": {
+                isa: {"on": on, "off": off, "ratio": ratio}
+                for isa, (on, off, ratio) in results.items()
+            },
+            "gate": {"min_ratio": MIN_RATIO, "min_isas": MIN_ISAS},
+        },
+    )
+    publish(
+        "ablation_chaining_superblocks",
+        render_table(
+            f"Ablation: superblocks + chaining, block_min "
+            f"(geomean MIPS, scale={bench_scale()})",
+            ["ISA", "on", "off", "speedup"],
+            [
+                [isa, round(on, 3), round(off, 3), round(ratio, 3)]
+                for isa, (on, off, ratio) in results.items()
+            ],
+            float_format="{:.3f}",
+        ),
+    )
+
+    # Both optimizations must help everywhere they engage; the hard bar
+    # is MIN_RATIO on MIN_ISAS ISAs (ARM's predicated conditionals hide
+    # constant branch arms, so it profits least).
+    assert all(ratio > 1.0 for _, _, ratio in results.values()), results
+    assert passing >= MIN_ISAS, (
+        f"geomean speedup >= {MIN_RATIO} on only {passing} ISA(s): {results}"
+    )

@@ -131,14 +131,25 @@ class Memory:
             pos += take
 
     def read_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
-        """Read a NUL-terminated byte string (without the NUL)."""
+        """Read a NUL-terminated byte string (without the NUL).
+
+        Scans one page at a time with ``bytes.find`` rather than one call
+        per byte; an unallocated page reads as zeros and therefore
+        terminates the string immediately.
+        """
         out = bytearray()
         while len(out) < limit:
-            byte = self.read_u8(addr)
-            if byte == 0:
+            page = self._pages.get(addr >> PAGE_BITS)
+            if page is None:
+                break  # demand-zero page: the next byte is NUL
+            off = addr & PAGE_MASK
+            end = min(PAGE_SIZE, off + (limit - len(out)))
+            nul = page.find(0, off, end)
+            if nul >= 0:
+                out += page[off:nul]
                 break
-            out.append(byte)
-            addr += 1
+            out += page[off:end]
+            addr += end - off
         return bytes(out)
 
     # -- snapshots ---------------------------------------------------------

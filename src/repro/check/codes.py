@@ -15,6 +15,7 @@ Code blocks mirror the guarantees:
 * ``CHK02x`` — speculation undo coverage
 * ``CHK03x`` — cross-interface monotonicity
 * ``CHK04x`` — zero-overhead residue
+* ``CHK05x`` — translated-unit shape (superblocks and chaining)
 """
 
 from __future__ import annotations
@@ -46,6 +47,13 @@ _REGISTRY: tuple[CodeInfo, ...] = (
     CodeInfo("CHK040", Severity.ERROR,
              "observability probe residue in an observe-off module"),
     CodeInfo("CHK041", Severity.ERROR, "profiling residue in generated module"),
+    # -- translated-unit shape (superblocks and chaining) ----------------------
+    CodeInfo("CHK050", Severity.ERROR,
+             "translated unit failed static analysis"),
+    CodeInfo("CHK051", Severity.ERROR,
+             "translated unit's trace records disagree with its length"),
+    CodeInfo("CHK052", Severity.ERROR,
+             "translated unit's chain bookkeeping is inconsistent"),
 )
 
 #: The checker's own codes (a view into the shared registry).

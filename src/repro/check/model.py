@@ -27,7 +27,9 @@ from repro.diag.core import Diagnostic
 from repro.synth.provenance import SpecOrigin
 
 #: Record attributes that are interface bookkeeping, not spec fields.
-RECORD_BOOKKEEPING = frozenset({"trace", "count", "_op"})
+#: ``budget`` is the block interfaces' chaining allowance (how many more
+#: instructions a translated unit may execute before returning control).
+RECORD_BOOKKEEPING = frozenset({"trace", "count", "_op", "budget"})
 
 #: Prefix of the mangled carry slots step interfaces use to pass hidden
 #: values between calls without exposing them as plain visible fields.

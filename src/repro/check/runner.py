@@ -104,11 +104,30 @@ def check_isa(isa: str, options=None, buildsets=None) -> CheckResult:
     Inline ``// check: disable=CHKxxx`` comments in the ``.lis``
     sources suppress findings attributed to that spec line, exactly as
     ``// lint: disable=`` does for the linter.
+
+    Block buildsets additionally get their *runtime-translated* units
+    walked and checked (:mod:`repro.check.blockwalk`): superblock and
+    chaining code exists only after translation, so the static module
+    passes cannot see it.
     """
+    from repro.check.blockwalk import check_translated_units
     from repro.isa.base import get_bundle
 
     spec = get_bundle(isa).load_spec()
-    return check_spec(spec, options=options, buildsets=buildsets)
+    result = check_spec(spec, options=options, buildsets=buildsets)
+    try:
+        extra = check_translated_units(
+            isa, spec, options=options, buildsets=buildsets
+        )
+    except Exception as exc:  # noqa: BLE001 - a crash is a finding
+        extra = [
+            make_diagnostic(
+                "CHK000", f"translated-unit walk failed on {isa}: {exc}"
+            )
+        ]
+    if not extra:
+        return result
+    return _finish(result.paths, list(result.diagnostics) + extra)
 
 
 def _finish(paths: tuple[str, ...], diags: list[Diagnostic]) -> CheckResult:

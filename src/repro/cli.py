@@ -88,6 +88,41 @@ def _stats_setup(stats_mode):
     return SynthOptions(observe=True), make_observability()
 
 
+def _apply_block_flags(options, args):
+    """Fold ``--superblock``/``--no-chain`` into the synthesis options.
+
+    Returns ``options`` unchanged (possibly ``None``) when neither flag
+    was given, so the default-option paths stay untouched.
+    """
+    import dataclasses
+
+    superblock = getattr(args, "superblock", None)
+    no_chain = getattr(args, "no_chain", False)
+    if superblock is None and not no_chain:
+        return options
+    if options is None:
+        options = SynthOptions()
+    overrides: dict = {}
+    if superblock is not None:
+        overrides["superblock"] = superblock
+    if no_chain:
+        overrides["chain"] = False
+    return dataclasses.replace(options, **overrides)
+
+
+def add_block_flags(parser) -> None:
+    """Block-translator tuning flags shared by ``run`` and ``kernels``."""
+    parser.add_argument(
+        "--superblock", type=int, default=None, metavar="N",
+        help="superblock formation budget in instructions "
+             "(0 disables; block buildsets only)",
+    )
+    parser.add_argument(
+        "--no-chain", action="store_true",
+        help="disable direct block chaining (block buildsets only)",
+    )
+
+
 def _print_stats(stats: dict, mode: str) -> None:
     print(render_json(stats) if mode == "json" else render_text(stats))
 
@@ -95,6 +130,7 @@ def _print_stats(stats: dict, mode: str) -> None:
 def _cmd_run(args) -> int:
     bundle, image = _load_program(args)
     options, obs = _stats_setup(args.stats)
+    options = _apply_block_flags(options, args)
     generated = synthesize(bundle.load_spec(), args.buildset, options)
     os_emu = OSEmulator(
         bundle.abi,
@@ -141,9 +177,11 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
-def _run_kernel_suite(isa: str, buildset: str, stats_mode, kernels=None):
+def _run_kernel_suite(isa: str, buildset: str, stats_mode, kernels=None, args=None):
     """Run the kernel suite; returns (records, failures, stats-or-None)."""
     options, obs = _stats_setup(stats_mode)
+    if args is not None:
+        options = _apply_block_flags(options, args)
     generated = synthesize(get_bundle(isa).load_spec(), buildset, options)
     records = []
     failures = 0
@@ -169,7 +207,7 @@ def _run_kernel_suite(isa: str, buildset: str, stats_mode, kernels=None):
 def _cmd_kernels(args) -> int:
     stats_mode = args.stats
     records, failures, stats = _run_kernel_suite(
-        args.isa, args.buildset, stats_mode
+        args.isa, args.buildset, stats_mode, args=args
     )
     as_json = args.json or stats_mode == "json"
     if as_json:
@@ -379,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max", type=int, default=100_000_000)
     p_run.add_argument("--stdin", action="store_true",
                        help="pass host stdin to the guest")
+    add_block_flags(p_run)
     add_stats_flag(p_run)
 
     p_dis = sub.add_parser("disasm", help="assemble and disassemble a program")
@@ -391,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_kern.add_argument("buildset", nargs="?", default="one_min")
     p_kern.add_argument("--json", action="store_true",
                         help="emit results as JSON instead of a table")
+    add_block_flags(p_kern)
     add_stats_flag(p_kern)
 
     p_stats = sub.add_parser(

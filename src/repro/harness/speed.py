@@ -138,10 +138,18 @@ def table2(
     isas=("alpha", "arm", "ppc"),
     kernels=DEFAULT_KERNELS,
     scale: float | None = None,
+    buildsets=None,
 ) -> dict[tuple[str, str], SpeedMeasurement]:
-    """The full Table II grid: {(buildset, isa): measurement}."""
+    """The full Table II grid: {(buildset, isa): measurement}.
+
+    ``buildsets`` restricts the grid to a subset of interfaces (CI's
+    smoke job measures just ``block_min``/``one_min`` at tiny scale).
+    """
     out: dict[tuple[str, str], SpeedMeasurement] = {}
-    for buildset, *_ in INTERFACE_GRID:
+    rows = INTERFACE_GRID if buildsets is None else tuple(
+        row for row in INTERFACE_GRID if row[0] in buildsets
+    )
+    for buildset, *_ in rows:
         for isa in isas:
             out[(buildset, isa)] = measure_buildset(isa, buildset, kernels, scale)
     return out

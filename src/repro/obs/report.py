@@ -40,6 +40,9 @@ def record_sim_stats(obs, sim) -> None:
         counters.inc("code_cache.evictions", stats.evictions)
         counters.inc("code_cache.flushes", stats.flushes)
         counters.inc("code_cache.blocks", stats.blocks)
+        counters.inc("code_cache.chain.links", stats.chain_links)
+        counters.inc("code_cache.chain.unlinks", stats.chain_unlinks)
+        counters.inc("code_cache.chain.chained", stats.chained)
 
 
 def record_generated_stats(obs, generated) -> None:

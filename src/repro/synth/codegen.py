@@ -42,6 +42,22 @@ class SynthOptions:
     observe: bool = False
     #: maximum translated blocks kept in the code cache (None = unbounded)
     cache_limit: int | None = None
+    #: total instruction budget of one translation unit; when positive the
+    #: block translator follows compile-time-constant unconditional control
+    #: transfers across basic-block boundaries up to this many instructions
+    #: (each constituent basic block still capped at ``max_block``);
+    #: 0 restores classic single-basic-block units
+    superblock: int = 256
+    #: patch translated units to transfer directly to their successors
+    #: (QEMU-style lazy block chaining) instead of returning to the
+    #: dispatch loop after every unit
+    chain: bool = True
+    #: post-translation peephole optimizations inside translated blocks:
+    #: copy forwarding of single-use temporaries (``src1_val = __R_R_4;
+    #: dest_val = op(src1_val)`` becomes ``dest_val = op(__R_R_4)``),
+    #: inline expansion of signed-cast helpers (``sext``/``i8``..``i64``),
+    #: and branch-test simplification; block translator only
+    peephole: bool = True
 
 
 @dataclass
@@ -429,9 +445,17 @@ def decode_tables(plan: BuildPlan) -> dict[str, dict[int, int]]:
 
 
 def emit_dyninst_class(
-    writer: SourceWriter, plan: BuildPlan, carry_slots: list[str]
+    writer: SourceWriter,
+    plan: BuildPlan,
+    carry_slots: list[str],
+    extra_slots: tuple[str, ...] = (),
 ) -> None:
-    slots = list(plan.trace_fields) + ["trace", "count", "_op"] + carry_slots
+    slots = (
+        list(plan.trace_fields)
+        + ["trace", "count", "_op"]
+        + carry_slots
+        + list(extra_slots)
+    )
     writer.line("class DynInst:")
     writer.indent()
     writer.line('"""Dynamic-instruction record for this interface."""')
@@ -444,6 +468,8 @@ def emit_dyninst_class(
     writer.line("self.count = 0")
     writer.line("self._op = 0")
     for name in carry_slots:
+        writer.line(f"self.{name} = 0")
+    for name in extra_slots:
         writer.line(f"self.{name} = 0")
     writer.dedent()
     writer.dedent()

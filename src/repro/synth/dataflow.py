@@ -125,6 +125,151 @@ def _expr_reads(expr: ast.expr) -> set[str]:
     return reads - called
 
 
+class _NameSubst(ast.NodeTransformer):
+    """Replace a single ``Name`` load with an expression (in place)."""
+
+    def __init__(self, name: str, replacement: ast.expr) -> None:
+        self.name = name
+        self.replacement = replacement
+
+    def visit_Name(self, node: ast.Name):  # noqa: N802 - ast API
+        if isinstance(node.ctx, ast.Load) and node.id == self.name:
+            import copy
+
+            return copy.deepcopy(self.replacement)
+        return node
+
+
+def _expr_forwardable(
+    expr: ast.expr, pure_extra: frozenset[str]
+) -> tuple[bool, bool]:
+    """Classify an expression for copy forwarding.
+
+    Returns ``(forwardable, fragile)``.  Forwardable expressions are
+    side-effect free: operators, comparisons, conditional expressions,
+    constants, name/subscript loads, and calls to known-pure helpers or
+    ``__mem`` reads.  *Fragile* expressions read mutable aggregate state
+    (memory or a subscript), so they must not be moved across a statement
+    with architectural effects.
+    """
+    fragile = False
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id not in pure_extra:
+                    return False, fragile
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "__mem"
+                and func.attr.startswith("read")
+            ):
+                fragile = True
+            else:
+                return False, fragile
+        elif isinstance(node, ast.Subscript):
+            if not isinstance(node.ctx, ast.Load):
+                return False, fragile
+            fragile = True
+        elif isinstance(node, (ast.Lambda, ast.Await, ast.Yield, ast.YieldFrom)):
+            return False, fragile
+    return True, fragile
+
+
+def _count_loads(stmts: list[ast.stmt], name: str) -> int:
+    return sum(
+        1
+        for stmt in stmts
+        for node in ast.walk(stmt)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, ast.Load)
+        and node.id == name
+    )
+
+
+def forward_copies(
+    stmts: list[ast.stmt],
+    protected: frozenset[str],
+    pure_extra: frozenset[str] = frozenset(),
+) -> list[ast.stmt]:
+    """Substitute single-use temporaries into their sole use site.
+
+    The block translator's pipeline (constant folding, register caching,
+    DCE) leaves chains like ``src1_val = __R_R_4; dest_val = op(src1_val);
+    __R_R_3 = dest_val`` — one Python store+load pair per link.  This pass
+    collapses them: a top-level ``x = expr`` whose ``x`` is read exactly
+    once afterwards (and never rewritten before that read) is inlined into
+    the reader and the definition dropped, provided ``expr`` is pure and
+    no intervening statement writes a name it reads.
+
+    ``protected`` names (interface fields, special/architectural registers,
+    dunder-prefixed locals) are never forwarded: their assignments *are*
+    the architectural or interface effect.  Statements list is returned
+    rewritten; input order of surviving statements is preserved.
+    """
+    stmts = list(stmts)
+    changed = True
+    while changed:
+        changed = False
+        for i, stmt in enumerate(stmts):
+            if (
+                not isinstance(stmt, ast.Assign)
+                or len(stmt.targets) != 1
+                or not isinstance(stmt.targets[0], ast.Name)
+            ):
+                continue
+            name = stmt.targets[0].id
+            if name in protected or name.startswith("__"):
+                continue
+            ok, fragile = _expr_forwardable(stmt.value, pure_extra)
+            if not ok:
+                continue
+            rest = stmts[i + 1 :]
+            expr_reads = _expr_reads(stmt.value)
+            expr_reads.discard(name)
+            use_at = None
+            blocked = False
+            # The value is live only until ``name`` is redefined; count
+            # reads within that window and require exactly one.
+            for k, later in enumerate(rest):
+                facts = analyze_stmt(later)
+                n_loads = _count_loads([later], name)
+                if n_loads:
+                    if use_at is not None or n_loads > 1:
+                        blocked = True
+                        break
+                    use_at = k
+                if name in facts.writes:
+                    if use_at == k and not _is_unconditional_kill(later):
+                        # e.g. an ``if`` both reading and (conditionally)
+                        # rewriting the name: evaluation order is unclear
+                        blocked = True
+                    break
+                if use_at is None:
+                    if facts.writes & expr_reads:
+                        blocked = True  # an input of expr changes first
+                        break
+                    if fragile and stmt_is_anchored(facts, pure_extra):
+                        blocked = True  # aggregate read crosses an effect
+                        break
+            if blocked or use_at is None:
+                continue
+            user = rest[use_at]
+            if isinstance(user, (ast.While, ast.For)):
+                continue  # substitution would re-evaluate per iteration
+            if fragile and not isinstance(user, (ast.Assign, ast.Expr)):
+                # A compound use site (e.g. ``if``) may order an effect
+                # before the read; don't move aggregate reads into it.
+                continue
+            _NameSubst(name, stmt.value).visit(user)
+            ast.fix_missing_locations(user)
+            del stmts[i]
+            changed = True
+            break
+    return stmts
+
+
 def assigned_names(stmts: list[TaggedStmt]) -> set[str]:
     """All names written anywhere in the statement list."""
     out: set[str] = set()

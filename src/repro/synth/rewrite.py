@@ -232,3 +232,104 @@ def _rewrite_body(body: list[ast.stmt], ctx: RewriteContext) -> list[ast.stmt]:
 def rewrite_stmts(stmts: list[ast.stmt], ctx: RewriteContext) -> list[ast.stmt]:
     """Rewrite a statement list (top-level entry point)."""
     return _rewrite_body(stmts, ctx)
+
+
+#: signed reinterpretation helpers and their widths (see repro.ops)
+_SIGNED_BITS = {"i8": 8, "i16": 16, "i32": 32, "i64": 64}
+
+_IDENTITY_RIGHT_ZERO = (
+    ast.Add,
+    ast.Sub,
+    ast.BitOr,
+    ast.BitXor,
+    ast.LShift,
+    ast.RShift,
+)
+
+
+class _BlockPeephole(ast.NodeTransformer):
+    """Expression-level peephole used only by the block translator.
+
+    One/Step modules keep calling the helpers (their shape is pinned by
+    golden tests and byte-identity guarantees); translated blocks inline
+    them because a CPython call per ALU result dominates block runtime:
+
+    * ``sext(e, k)`` / ``i8..i64(e)`` become ``((e & M) ^ S) - S`` — the
+      branch-free closed form of two's-complement reinterpretation;
+    * ``if 1 if c else 0:`` becomes ``if c:`` (ADL booleans are 0/1, so
+      truthiness is unchanged);
+    * ``e + 0``, ``e | 0``, ``e ^ 0``, ``e << 0``, ``e >> 0``, ``e - 0``
+      and ``e * 1`` collapse to ``e`` (constant folding of operand
+      immediates leaves these behind).
+    """
+
+    def visit_Call(self, node: ast.Call):  # noqa: N802 - ast API
+        self.generic_visit(node)
+        func = node.func
+        if not isinstance(func, ast.Name) or node.keywords:
+            return node
+        bits = None
+        if func.id in _SIGNED_BITS and len(node.args) == 1:
+            bits = _SIGNED_BITS[func.id]
+        elif (
+            func.id == "sext"
+            and len(node.args) == 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, int)
+            and node.args[1].value > 0
+        ):
+            bits = node.args[1].value
+        if bits is None:
+            return node
+        mask = (1 << bits) - 1
+        sign = 1 << (bits - 1)
+        masked = ast.BinOp(node.args[0], ast.BitAnd(), ast.Constant(mask))
+        flipped = ast.BinOp(masked, ast.BitXor(), ast.Constant(sign))
+        return ast.BinOp(flipped, ast.Sub(), ast.Constant(sign))
+
+    def visit_BinOp(self, node: ast.BinOp):  # noqa: N802 - ast API
+        self.generic_visit(node)
+        right = node.right
+        if isinstance(right, ast.Constant) and isinstance(right.value, int):
+            if right.value == 0 and isinstance(node.op, _IDENTITY_RIGHT_ZERO):
+                return node.left
+            if right.value == 1 and isinstance(node.op, ast.Mult):
+                return node.left
+        left = node.left
+        if isinstance(left, ast.Constant) and isinstance(left.value, int):
+            if left.value == 0 and isinstance(node.op, (ast.Add, ast.BitOr, ast.BitXor)):
+                return node.right
+            if left.value == 1 and isinstance(node.op, ast.Mult):
+                return node.right
+        return node
+
+    @staticmethod
+    def _as_bool_test(test: ast.expr) -> ast.expr:
+        if (
+            isinstance(test, ast.IfExp)
+            and isinstance(test.body, ast.Constant)
+            and test.body.value == 1
+            and isinstance(test.orelse, ast.Constant)
+            and test.orelse.value == 0
+        ):
+            return test.test
+        return test
+
+    def visit_If(self, node: ast.If):  # noqa: N802 - ast API
+        self.generic_visit(node)
+        node.test = self._as_bool_test(node.test)
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp):  # noqa: N802 - ast API
+        self.generic_visit(node)
+        node.test = self._as_bool_test(node.test)
+        return node
+
+
+def peephole_stmts(stmts: list[ast.stmt]) -> list[ast.stmt]:
+    """Apply the block-only expression peephole to a statement list."""
+    transformer = _BlockPeephole()
+    out = []
+    for stmt in stmts:
+        out.append(ast.fix_missing_locations(transformer.visit(stmt)))
+    return out

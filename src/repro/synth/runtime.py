@@ -91,7 +91,16 @@ class SynthesizedSimulator:
             from repro.synth.translator import BlockTranslator
 
             self._translator = BlockTranslator(self.plan, obs=self.obs)
-            if self.obs.enabled or self.plan.options.cache_limit is not None:
+            #: chain edges into each cached unit: target pc -> {id: cell}
+            self._chains: dict[int, dict[int, list]] = {}
+            #: whether cache statistics are being maintained (observed
+            #: path selected); gates counting in the chain slow paths
+            self._counting = (
+                self.obs.enabled or self.plan.options.cache_limit is not None
+            )
+            #: LRU ordering is maintained only when a capacity limit exists
+            self._lru = self.plan.options.cache_limit is not None
+            if self._counting:
                 # Select the counting/evicting lookup once, here, so the
                 # default path keeps its original (probe-free) bytecode.
                 self.do_block = self._do_block_observed
@@ -121,20 +130,41 @@ class SynthesizedSimulator:
     # -- block-mode support --------------------------------------------------------
 
     def do_block(self, di) -> None:
-        """Execute one basic block (generated lazily, memoized)."""
+        """Execute one translation unit (generated lazily, memoized).
+
+        With chaining enabled, a translated unit returns its successor's
+        function when the successor is linked and fits the remaining
+        ``di.budget``; the loop below is the trampoline that keeps
+        execution inside generated code until the chain breaks.  Direct
+        callers (e.g. timing models) that never set ``di.budget`` keep
+        classic one-unit-per-call semantics: the budget stays at zero, so
+        every unit declines to chain.
+        """
         pc = self.state.pc
         fn = self._cache.get(pc)
         if fn is None:
             fn = self._translator.translate(self, pc)
-            self._cache[pc] = fn
-        fn(self, di)
+            self._install_block(pc, fn)
+        budget = di.budget
+        if 0 < budget < fn.__block_len__:
+            # Final partial unit of a bounded run: translate (uncached,
+            # unchained) at most ``budget`` instructions so the executed
+            # count is exact.  Bypasses the counting wrapper: truncated
+            # units are an accounting artifact, not real translations.
+            self._translator._translate(self, pc, limit=budget)(self, di)
+            di.budget = budget - di.count
+            return
+        nxt = fn(self, di)
+        while nxt is not None:
+            nxt = nxt(self, di)
 
     def _do_block_observed(self, di) -> None:
         """Counting/evicting variant of :meth:`do_block`.
 
         Bound over ``do_block`` at construction time when observability
         is enabled or a code-cache capacity limit is configured, so the
-        default path never pays for either.
+        default path never pays for either.  Chained transfers count as
+        cache hits (the lookup they replace) plus ``chained``.
         """
         pc = self.state.pc
         cache = self._cache
@@ -143,26 +173,114 @@ class SynthesizedSimulator:
         if fn is None:
             stats.misses += 1
             fn = self._translator.translate(self, pc)
-            limit = self.plan.options.cache_limit
-            if limit is not None and len(cache) >= limit:
-                victim = next(iter(cache))
-                del cache[victim]
-                stats.evictions += 1
-                self.obs.events.emit(CACHE_EVICT, pc=victim)
-            cache[pc] = fn
-            stats.blocks = len(cache)
+            self._install_block(pc, fn)
         else:
             stats.hits += 1
+            if self._lru:
+                cache[pc] = cache.pop(pc)  # move-to-end: most recently used
         self._obs_ep["do_block"] += 1
-        fn(self, di)
+        budget = di.budget
+        if 0 < budget < fn.__block_len__:
+            self._translator._translate(self, pc, limit=budget)(self, di)
+            di.budget = budget - di.count
+            return
+        nxt = fn(self, di)
+        while nxt is not None:
+            stats.hits += 1
+            stats.chained += 1
+            nxt = nxt(self, di)
+
+    def _install_block(self, pc: int, fn) -> None:
+        """Insert a translated unit, evicting (LRU) at the capacity limit."""
+        cache = self._cache
+        limit = self.plan.options.cache_limit
+        if limit is not None:
+            while len(cache) >= limit:
+                self._evict_block(next(iter(cache)))
+        cache[pc] = fn
+        if self._counting:
+            self._translator.cache_stats.blocks = len(cache)
+
+    def _evict_block(self, victim: int) -> None:
+        fn = self._cache.pop(victim)
+        self._unlink_block(victim, fn)
+        stats = self._translator.cache_stats
+        stats.evictions += 1
+        stats.blocks = len(self._cache)
+        self.obs.events.emit(CACHE_EVICT, pc=victim)
+
+    def _unlink_block(self, pc: int, fn) -> None:
+        """Sever every chain edge into and out of one translated unit."""
+        from repro.synth.translator import reset_chain_cell
+
+        stats = self._translator.cache_stats
+        incoming = self._chains.pop(pc, None)
+        if incoming:
+            for cell in incoming.values():
+                reset_chain_cell(cell)
+            stats.chain_unlinks += len(incoming)
+        for cell in getattr(fn, "__chain_cells__", ()):
+            target = cell[2]
+            if target != -1:
+                registry = self._chains.get(target)
+                if registry is not None:
+                    registry.pop(id(cell), None)
+                reset_chain_cell(cell)
+                stats.chain_unlinks += 1
+
+    def _chain_link(self, cell: list, target: int, budget: int):
+        """Patch ``cell`` to transfer directly to the unit at ``target``.
+
+        Slow path of the generated chain epilogue: looks up (translating
+        on a miss) the successor, records the edge so eviction/flush can
+        sever it, and returns the successor's function when it fits the
+        remaining budget — the trampoline then calls it directly.
+        """
+        fn = self._cache.get(target)
+        if fn is None:
+            if self._counting:
+                self._translator.cache_stats.misses += 1
+            fn = self._translator.translate(self, target)
+            self._install_block(target, fn)
+        old = cell[2]
+        if old != target:
+            if old != -1:
+                registry = self._chains.get(old)
+                if registry is not None:
+                    registry.pop(id(cell), None)
+            cell[2] = target
+            self._chains.setdefault(target, {})[id(cell)] = cell
+            self._translator.cache_stats.chain_links += 1
+        cell[0] = fn
+        length = fn.__block_len__
+        cell[1] = length
+        return fn if length <= budget else None
+
+    def _chain_resolve(self, c0: list, c1: list, target: int, budget: int):
+        """Pick a successor slot for a runtime-computed exit and link it.
+
+        The first slot is sticky (it keeps the first target it ever saw,
+        typically the hot loop edge); other targets churn the second.
+        """
+        cell = c0 if (c0[2] == target or c0[2] == -1) else c1
+        return self._chain_link(cell, target, budget)
 
     def flush_code_cache(self) -> None:
         """Drop every translated block (e.g. after loading new code)."""
         if self._translator is not None:
+            from repro.synth.translator import reset_chain_cell
+
             stats = self._translator.cache_stats
             stats.flushes += 1
             stats.blocks = 0
             self.obs.events.emit(CACHE_FLUSH, dropped=len(self._cache))
+            unlinked = 0
+            for registry in self._chains.values():
+                for cell in registry.values():
+                    reset_chain_cell(cell)
+                    unlinked += 1
+            stats.chain_unlinks += unlinked
+            self._chains.clear()
         self._cache.clear()
 
     def block_source(self, pc: int) -> str:
@@ -170,7 +288,7 @@ class SynthesizedSimulator:
         fn = self._cache.get(pc)
         if fn is None:
             fn = self._translator.translate(self, pc)
-            self._cache[pc] = fn
+            self._install_block(pc, fn)
         return fn.__block_source__
 
     # -- speculation -------------------------------------------------------------------
@@ -198,10 +316,19 @@ class SynthesizedSimulator:
         try:
             if detail == "block":
                 do_block = self.do_block
+                # With chaining, every completed unit debits ``di.budget``,
+                # so progress is read back from the budget rather than
+                # accumulated per hop inside the trampoline (``di.count``
+                # only holds the *last* unit's count, which is exactly
+                # what a partial syscall exit needs).
+                budgeted = self.plan.options.chain
+                remaining = 0
                 while executed < max_instructions:
                     di.count = 0
+                    remaining = max_instructions - executed
+                    di.budget = remaining
                     do_block(di)
-                    executed += di.count
+                    executed += remaining - di.budget if budgeted else di.count
             elif detail == "one":
                 entry = getattr(self, self.entry_names[0])
                 while executed < max_instructions:
@@ -215,10 +342,20 @@ class SynthesizedSimulator:
                     executed += 1
         except ExitProgram as exc:
             if detail == "block":
-                executed += di.count
+                # Completed chained units debited the budget; the unit the
+                # guest exited from set ``di.count`` before its handler ran.
+                if self.plan.options.chain:
+                    executed += (remaining - di.budget) + di.count
+                else:
+                    executed += di.count
             else:
                 executed += 1
             return RunResult(executed, True, exc.status)
+        finally:
+            if detail == "block":
+                # A stale budget would let a later direct do_block call
+                # chain past its caller's one-unit expectation.
+                di.budget = 0
         return RunResult(executed, False, None)
 
     @property

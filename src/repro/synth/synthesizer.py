@@ -84,7 +84,9 @@ def _generate_block_module(plan: BuildPlan) -> str:
         f'"""Synthesized simulator: {plan.spec.name}/{plan.buildset.name} (block)."""'
     )
     writer.line()
-    emit_dyninst_class(writer, plan, carry_slots=[])
+    # ``budget`` is block-only: translated units decrement it so chained
+    # execution respects the run driver's instruction limit.
+    emit_dyninst_class(writer, plan, carry_slots=[], extra_slots=("budget",))
     writer.line("ENTRYPOINTS = ('do_block',)")
     return writer.source()
 

@@ -38,9 +38,37 @@ from repro.synth.codegen import (
     assemble_instruction_stmts,
     predecode_stmts,
 )
-from repro.synth.dataflow import TaggedStmt, assigned_names, eliminate_dead
+from repro.synth.dataflow import (
+    TaggedStmt,
+    assigned_names,
+    eliminate_dead,
+    forward_copies,
+)
 from repro.synth.errors import SynthesisError
-from repro.synth.rewrite import RewriteContext, rewrite_stmts
+from repro.synth.rewrite import RewriteContext, peephole_stmts, rewrite_stmts
+
+
+#: Sentinel "length" of an unlinked chain cell: larger than any budget, so
+#: the generated fast path rejects an unlinked cell and a too-long
+#: successor with the same single comparison.
+CHAIN_NEVER = 1 << 62
+
+
+def new_chain_cell() -> list:
+    """A per-exit successor slot: ``[successor fn, its length, its pc]``.
+
+    Cells are mutable lists patched in place by
+    :meth:`repro.synth.runtime.SynthesizedSimulator._chain_link` so every
+    translated unit holding the cell in its globals sees updates (and
+    unlinks) immediately.
+    """
+    return [None, CHAIN_NEVER, -1]
+
+
+def reset_chain_cell(cell: list) -> None:
+    cell[0] = None
+    cell[1] = CHAIN_NEVER
+    cell[2] = -1
 
 
 def _instr_writes_next_pc(instr: Instruction, post_actions: tuple[str, ...]) -> bool:
@@ -49,6 +77,64 @@ def _instr_writes_next_pc(instr: Instruction, post_actions: tuple[str, ...]) -> 
             if "next_pc" in analyze_stmt(stmt).writes:
                 return True
     return False
+
+
+def _static_const_next_pc(stmts: list[ast.stmt]) -> int | None:
+    """The constant target of a single unconditional ``next_pc`` write.
+
+    Returns None when ``next_pc`` is written more than once, written
+    conditionally, or assigned a non-constant — i.e. whenever the
+    successor is not a compile-time certainty.
+    """
+    writes = 0
+    value: int | None = None
+    for stmt in stmts:
+        if "next_pc" not in analyze_stmt(stmt).writes:
+            continue
+        writes += 1
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "next_pc"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+        ):
+            value = stmt.value.value
+        else:
+            value = None
+    return value if writes == 1 else None
+
+
+def _next_pc_arm_consts(stmts: list[ast.stmt]) -> frozenset[int]:
+    """Constant values any arm of this instruction may give ``next_pc``.
+
+    Collects direct constant assignments and the constant arms of
+    conditional expressions.  Superblock formation uses this to tell a
+    conditional branch (one arm is the textual fall-through, so the unit
+    may continue across it with a guarded side exit) from an indirect
+    jump, whose successor is not any compile-time constant.
+    """
+    consts: set[int] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "next_pc"
+            ):
+                continue
+            value = node.value
+            arms = (
+                (value.body, value.orelse)
+                if isinstance(value, ast.IfExp)
+                else (value,)
+            )
+            for arm in arms:
+                if isinstance(arm, ast.Constant) and isinstance(arm.value, int):
+                    consts.add(arm.value)
+    return frozenset(consts)
 
 
 def _instr_has_syscall(instr: Instruction, post_actions: tuple[str, ...]) -> bool:
@@ -94,6 +180,15 @@ class RegisterCache:
         else:
             self.dirty = {k for k in self.dirty if k[0] not in files}
         return out
+
+    def spill(self) -> list[ast.stmt]:
+        """Stores for dirty registers *without* clearing the dirty set.
+
+        Used for superblock side exits: the stores commit current values
+        on the exiting path, while the fall-through path keeps its cached
+        locals (and the final flush) intact.
+        """
+        return [self._store_stmt(file, index) for file, index in sorted(self.dirty)]
 
     def invalidate(self, files: set[str] | None = None) -> None:
         if files is None:
@@ -250,6 +345,12 @@ class CodeCacheStats:
     observed path — the unobserved fast path does not count), ``blocks``
     is the current cache population, ``evictions`` counts capacity
     evictions and ``flushes`` whole-cache invalidations.
+
+    Chaining bookkeeping: ``chain_links`` counts successor slots patched
+    to a translated unit, ``chain_unlinks`` slots severed by eviction or
+    flush, and ``chained`` direct unit-to-unit transfers taken (observed
+    path only — on the fast path chained transfers are uncounted, like
+    hits).
     """
 
     hits: int = 0
@@ -257,6 +358,9 @@ class CodeCacheStats:
     evictions: int = 0
     flushes: int = 0
     blocks: int = 0
+    chain_links: int = 0
+    chain_unlinks: int = 0
+    chained: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -265,6 +369,9 @@ class CodeCacheStats:
             "evictions": self.evictions,
             "flushes": self.flushes,
             "blocks": self.blocks,
+            "chain_links": self.chain_links,
+            "chain_unlinks": self.chain_unlinks,
+            "chained": self.chained,
         }
 
 
@@ -278,6 +385,16 @@ class BlockTranslator:
         #: statements dropped by DCE during the most recent translation
         self._dce_dropped = 0
         self._last_block_len = 0
+        #: basic blocks merged into the most recent translation unit
+        self._last_parts = 1
+        #: chain cells created for the most recent unit: (global name, cell)
+        self._last_cells: list[tuple[str, list]] = []
+        #: memoized decode-time front half of piece translation,
+        #: keyed by (addr, word) — see :meth:`_instruction_core`
+        self._piece_cache: dict[tuple[int, int], dict] = {}
+        #: compile-time-constant exit targets of the most recent unit
+        #: (consumed by the static block walk in :mod:`repro.check`)
+        self.last_exit_targets: tuple[int, ...] = ()
         spec = plan.spec
         self._fold_funcs = dict(PURE_NAMESPACE)
         self._fold_funcs.update(spec.helpers)
@@ -297,35 +414,50 @@ class BlockTranslator:
 
     # -- public API -------------------------------------------------------------
 
-    def translate(self, sim, start_pc: int):
-        """Translate the block at ``start_pc`` against current memory."""
+    def translate(self, sim, start_pc: int, limit: int | None = None):
+        """Translate the unit at ``start_pc`` against current memory.
+
+        ``limit`` caps the unit at that many instructions and suppresses
+        chaining; the run driver uses it for the final partial unit of a
+        bounded execution.
+        """
         if not self.obs.enabled:
-            return self._translate(sim, start_pc)
+            return self._translate(sim, start_pc, limit)
         start = time.perf_counter()
-        fn = self._translate(sim, start_pc)
+        fn = self._translate(sim, start_pc, limit)
         elapsed_us = int((time.perf_counter() - start) * 1e6)
         length = self._last_block_len
+        parts = self._last_parts
         counters = self.obs.counters
         counters.inc("translate.blocks")
         counters.inc("translate.instructions", length)
         counters.inc("translate.elapsed_us", elapsed_us)
         counters.inc("translate.dce_eliminated", self._dce_dropped)
+        if parts > 1:
+            counters.inc("translate.superblocks")
+            counters.inc("translate.superblock_instructions", length)
         self.obs.events.emit(
             BLOCK_TRANSLATE,
             pc=start_pc,
             instructions=length,
+            parts=parts,
             elapsed_us=elapsed_us,
             dce_eliminated=self._dce_dropped,
         )
         return fn
 
-    def _translate(self, sim, start_pc: int):
-        source, name = self.block_source(sim, start_pc)
+    def _translate(self, sim, start_pc: int, limit: int | None = None):
+        source, name = self.block_source(sim, start_pc, limit)
+        cells = self._last_cells
         namespace = dict(sim.module_namespace)
+        for cell_name, cell in cells:
+            namespace[cell_name] = cell
         code = compile(source, f"<block {start_pc:#x}>", "exec")
         exec(code, namespace)
         fn = namespace[name]
         fn.__block_source__ = source
+        fn.__block_len__ = self._last_block_len
+        fn.__chain_cells__ = tuple(cell for _cell_name, cell in cells)
         if self.plan.options.profile:
             import dis
 
@@ -335,45 +467,77 @@ class BlockTranslator:
             exec(compile(source, f"<block {start_pc:#x}>", "exec"), namespace)
             fn = namespace[name]
             fn.__block_source__ = source
+            fn.__block_len__ = self._last_block_len
+            fn.__chain_cells__ = tuple(cell for _cell_name, cell in cells)
             sim._hops += cost * self.TRANSLATE_COST_FACTOR
         return fn
 
     # -- translation ---------------------------------------------------------------
 
-    def block_source(self, sim, start_pc: int) -> tuple[str, str]:
+    def block_source(
+        self, sim, start_pc: int, limit: int | None = None
+    ) -> tuple[str, str]:
         plan = self.plan
         spec = plan.spec
         mem = sim.state.mem
+        options = plan.options
         speculate = plan.buildset.speculation
         regcache = (
             RegisterCache(frozenset(spec.regfiles))
-            if plan.options.regcache
+            if options.regcache
             else None
         )
 
         self._dce_dropped = 0
+        self._last_cells = []
         pieces: list[list[ast.stmt]] = []
+        trace_consts: list[str | None] = []
+        #: per-piece guarded side exit (superblocks across conditionals)
+        side_exits: list[dict | None] = []
+        side_targets: set[int] = set()
         sreg_reads_all: set[str] = set()
         sreg_writes_all: set[str] = set()
         mem_used = False
         reg_files_used: set[str] = set()
         addr = start_pc
         count = 0
+        block_count = 0  # instructions in the current basic block
+        parts = 1  # basic blocks merged into this unit
         final_next_pc: object = None  # int const or "runtime"
+        unroll_len = 0  # length of one iteration when self-loop unrolling
         ended_by_syscall = False
+        chain = options.chain and limit is None
 
-        while count < plan.options.max_block:
+        # Unit budget: one basic block (capped at max_block) classically;
+        # with superblock formation on, compile-time-constant control
+        # transfers may be followed up to the superblock budget, each
+        # constituent basic block still capped at max_block.
+        unit_budget = options.superblock if options.superblock > 0 else options.max_block
+        if limit is not None:
+            unit_budget = min(unit_budget, limit)
+
+        while count < unit_budget and block_count < options.max_block:
             word = mem.read(addr, spec.ilen)
             index = spec.decode(word)
             if index is None:
                 if count == 0:
                     raise IllegalInstruction(addr, word)
+                last_exit = side_exits[-1]
+                if last_exit is not None and last_exit["count"] == count:
+                    # The conditional we just crossed falls through into
+                    # untranslatable bytes: revert to a classic runtime
+                    # exit so the guard costs nothing on real code paths.
+                    side_exits[-1] = None
+                    parts -= 1
+                    final_next_pc = "runtime"
                 break
             instr = spec.instructions[index]
             stmts, env, info = self._translate_instruction(
-                sim, instr, addr, word, regcache, count
+                sim, instr, addr, word, regcache, count, sreg_writes_all
             )
             pieces.append(stmts)
+            trace_consts.append(info["trace_const"])
+            side_exits.append(None)
             sreg_reads_all |= info["sreg_reads"]
             sreg_writes_all |= info["sreg_writes"]
             mem_used = mem_used or info["mem_used"]
@@ -384,8 +548,58 @@ class BlockTranslator:
                 final_next_pc = env.get("next_pc", "runtime")
                 break
             if info["control"]:
+                next_const = info["next_const"]
+                if (
+                    options.superblock > 0
+                    and isinstance(next_const, int)
+                    and count < unit_budget
+                ):
+                    # Superblock formation: the transfer target is a
+                    # compile-time constant, so translation continues into
+                    # the successor block and the optimizers see one
+                    # straight-line multi-block region.
+                    final_next_pc = next_const
+                    addr = next_const
+                    block_count = 0
+                    parts += 1
+                    continue
+                # Superblock formation across a *conditional* branch: pick
+                # one constant arm to follow in-line; every other successor
+                # becomes a guarded side exit (spill + chain attempt +
+                # return).  A back edge to this unit's own entry is
+                # followed preferentially — that unrolls the hot loop body,
+                # in complete iterations only, so the fall-off exit lands
+                # exactly on the unit's own entry and self-chains.
+                # Otherwise the textual fall-through is followed, merging
+                # forward diamonds and multi-block loop bodies into one
+                # straight-line region.
+                fallthrough = addr + spec.ilen
+                arm_consts = info["arm_consts"]
+                follow = None
+                if options.superblock > 0 and count < unit_budget:
+                    if start_pc in arm_consts:
+                        iter_len = unroll_len if unroll_len else count
+                        if count + iter_len <= unit_budget:
+                            unroll_len = iter_len
+                            follow = start_pc
+                    if follow is None and fallthrough in arm_consts:
+                        follow = fallthrough
+                if follow is not None:
+                    side_exits[-1] = {
+                        "follow": follow,
+                        "count": count,
+                        "spill": regcache.spill() if regcache is not None else [],
+                        "sregs": tuple(sorted(sreg_writes_all)),
+                    }
+                    side_targets |= arm_consts - {follow}
+                    final_next_pc = follow
+                    addr = follow
+                    block_count = 0
+                    parts += 1
+                    continue
                 final_next_pc = env.get("next_pc", "runtime")
                 break
+            block_count += 1
             next_const = env.get("next_pc")
             if not isinstance(next_const, int):
                 final_next_pc = "runtime"
@@ -418,28 +632,181 @@ class BlockTranslator:
             writer.line(f"{sreg} = __state.sr[{sreg!r}]")
         writer.line("__trace = di.trace")
         writer.line("__trace.clear()")
-        for stmts in pieces:
-            writer.stmts(stmts)
+
+        # Instructions whose whole trace record folded to a constant have
+        # the record hoisted out of the piece (it is the piece's final
+        # statement) and appended in batches: one ``+=`` of a constant
+        # tuple-of-tuples replaces one allocation + method call per
+        # instruction.  Nothing inside a unit reads ``__trace`` and block
+        # statements cannot fault, so batching at the end of each constant
+        # run preserves the interface-visible contents exactly.
+        pending_trace: list[str] = []
+
+        def _flush_trace() -> None:
+            if not pending_trace:
+                return
+            if len(pending_trace) == 1:
+                writer.line(f"__trace.append({pending_trace[0]})")
+            else:
+                writer.line(f"__trace += ({', '.join(pending_trace)},)")
+            pending_trace.clear()
+
+        cells: list[tuple[str, list]] = []
+
+        def _new_cell() -> str:
+            cell_name = f"__chain_{len(cells)}"
+            cells.append((cell_name, new_chain_cell()))
+            return cell_name
+
+        def _emit_side_exit(exit_info: dict) -> None:
+            # Guarded exit for the non-fall-through arm of a crossed
+            # conditional.  Mirrors the final chain epilogue: dirty
+            # registers and special registers written so far are committed,
+            # then the per-exit successor slots are tried; ``state.pc`` and
+            # ``di.count`` are only materialized when control returns to
+            # the dispatcher.
+            _flush_trace()
+            taken = exit_info["count"]
+            writer.line(f"if next_pc != {exit_info['follow']}:")
+            writer.indent()
+            writer.stmts(exit_info["spill"])
+            for sreg in exit_info["sregs"]:
+                writer.line(f"__state.sr[{sreg!r}] = {sreg}")
+            if chain:
+                writer.line(f"__b = di.budget - {taken}")
+                writer.line("di.budget = __b")
+                c0 = _new_cell()
+                c1 = _new_cell()
+                for var in (c0, c1):
+                    writer.line(f"__c = {var}")
+                    writer.line("if __c[2] == next_pc and __c[1] <= __b:")
+                    writer.indent()
+                    writer.line("return __c[0]")
+                    writer.dedent()
+                writer.line("__state.pc = next_pc")
+                writer.line(f"di.count = {taken}")
+                writer.line("if __b > 0:")
+                writer.indent()
+                writer.line(f"return self._chain_resolve({c0}, {c1}, next_pc, __b)")
+                writer.dedent()
+                writer.line("return None")
+            else:
+                writer.line("__state.pc = next_pc")
+                writer.line(f"di.count = {taken}")
+                writer.line("return None")
+            writer.dedent()
+
+        for stmts, tconst, side_exit in zip(pieces, trace_consts, side_exits):
+            if tconst is not None:
+                writer.stmts(stmts[:-1])
+                pending_trace.append(tconst)
+            else:
+                _flush_trace()
+                writer.stmts(stmts)
+            if side_exit is not None:
+                _emit_side_exit(side_exit)
+        _flush_trace()
         writer.stmts(flush_stmts)
         for sreg in sorted(sreg_writes_all):
             writer.line(f"__state.sr[{sreg!r}] = {sreg}")
-        if final_next_pc == "runtime":
-            writer.line("__state.pc = next_pc")
+        runtime_exit = final_next_pc == "runtime"
+        if not chain:
+            if runtime_exit:
+                writer.line("__state.pc = next_pc")
+            else:
+                writer.line(f"__state.pc = {final_next_pc}")
+            writer.line(f"di.count = {count}")
         else:
-            writer.line(f"__state.pc = {final_next_pc}")
-        writer.line(f"di.count = {count}")
+            # Chain epilogue: debit the dispatch budget, then try the
+            # per-exit successor slot(s).  An unlinked cell fails the same
+            # ``[1] <= __b`` test as a too-long successor, so the hot path
+            # is a single comparison per slot.  The slow paths translate,
+            # patch and register the edge.  Bookkeeping a chained transfer
+            # never needs — the ``state.pc`` commit and ``di.count`` — is
+            # deferred off the hot path: the successor's pc is baked into
+            # its code, and :meth:`do_block` recovers the count from the
+            # budget debit (``di.count`` is set here only when execution
+            # actually returns to the dispatcher).
+            writer.line(f"__b = di.budget - {count}")
+            writer.line("di.budget = __b")
+            if runtime_exit:
+                c0 = _new_cell()
+                c1 = _new_cell()
+                for var in (c0, c1):
+                    writer.line(f"__c = {var}")
+                    writer.line("if __c[2] == next_pc and __c[1] <= __b:")
+                    writer.indent()
+                    writer.line("return __c[0]")
+                    writer.dedent()
+                writer.line("__state.pc = next_pc")
+                writer.line(f"di.count = {count}")
+                writer.line("if __b > 0:")
+                writer.indent()
+                writer.line(
+                    f"return self._chain_resolve({c0}, {c1}, next_pc, __b)"
+                )
+                writer.dedent()
+            else:
+                c0 = _new_cell()
+                writer.line(f"__c = {c0}")
+                writer.line("if __c[1] <= __b:")
+                writer.indent()
+                writer.line("return __c[0]")
+                writer.dedent()
+                writer.line(f"__state.pc = {final_next_pc}")
+                writer.line(f"di.count = {count}")
+                writer.line("if __b > 0:")
+                writer.indent()
+                writer.line(
+                    f"return self._chain_link(__c, {final_next_pc}, __b)"
+                )
+                writer.dedent()
+        self._last_cells = cells
         self._last_block_len = count
+        self._last_parts = parts
+        self.last_exit_targets = self._exit_targets(
+            final_next_pc, pieces, side_targets
+        )
         return writer.source(), name
 
-    def _translate_instruction(
-        self,
-        sim,
-        instr: Instruction,
-        addr: int,
-        word: int,
-        regcache: RegisterCache | None,
-        position: int,
-    ):
+    @staticmethod
+    def _exit_targets(final_next_pc, pieces, side_targets=frozenset()) -> tuple[int, ...]:
+        """Compile-time-constant successor pcs of the unit just built."""
+        targets: set[int] = set(side_targets)
+        if isinstance(final_next_pc, int):
+            targets.add(final_next_pc)
+        elif pieces:
+            # Runtime exit: collect the constant arms of the final
+            # instruction (e.g. both sides of a conditional branch).
+            for stmt in pieces[-1]:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and node.targets[0].id == "next_pc"
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, int)
+                    ):
+                        targets.add(node.value.value)
+        return tuple(sorted(targets))
+
+    def _instruction_core(self, instr: Instruction, addr: int, word: int) -> dict:
+        """The decode-time-deterministic front half of piece translation.
+
+        Everything up to (and including) the shared rewrites depends only
+        on ``(addr, word)`` and the plan, so it is memoized per translator:
+        superblock formation re-visits the same instruction once per
+        unrolled loop iteration, and constant folding dominates translation
+        cost.  The statements are cached as source text — the register
+        cache and the peephole passes mutate ASTs in place, so each use
+        re-parses a fresh tree.  A changed memory word changes the key,
+        which keeps the cache trivially coherent with self-modifying code.
+        """
+        key = (addr, word)
+        cached = self._piece_cache.get(key)
+        if cached is not None:
+            return cached
         plan = self.plan
         spec = plan.spec
         speculate = plan.buildset.speculation
@@ -478,11 +845,12 @@ class BlockTranslator:
         live_out = {
             f for f in live_targets if f not in env or f in sregs_assigned
         }
+        dce_dropped = 0
         if plan.options.dce:
             kept = eliminate_dead(
                 [TaggedStmt("x", s) for s in stmts], live_out, plan.pure_names
             )
-            self._dce_dropped += len(stmts) - len(kept)
+            dce_dropped = len(stmts) - len(kept)
             stmts = [t.stmt for t in kept]
 
         # Control transfer is a per-encoding fact: an ARM data-processing
@@ -493,6 +861,12 @@ class BlockTranslator:
             "next_pc" in assigned_names([TaggedStmt("x", s) for s in stmts])
             or (isinstance(next_const, int) and next_const != addr + spec.ilen)
         )
+        if not isinstance(next_const, int):
+            # Unconditional direct branches keep a runtime `next_pc = K`
+            # statement (two writes defeat env promotion: the synthetic
+            # fall-through plus their own), yet the target is a constant;
+            # superblock formation needs to see through that.
+            next_const = _static_const_next_pc(stmts)
 
         sregs = set(spec.sregs)
         sreg_reads: set[str] = set()
@@ -507,6 +881,49 @@ class BlockTranslator:
         )
         stmts = rewrite_stmts(stmts, ctx)
 
+        # Defensive defaults for conditionally-assigned runtime fields.
+        defaults: list[str] = []
+        maybe_unset = self._conditionally_assigned(stmts) & live_out
+        for field_name in sorted(maybe_unset):
+            default = env.get(field_name, 0)
+            if field_name == "next_pc":
+                default = addr + spec.ilen
+            if isinstance(default, (int, bool)):
+                defaults.append(f"{field_name} = {int(default)}")
+
+        cached = {
+            "src": "\n".join(ast.unparse(s) for s in stmts),
+            "env": env,
+            "sreg_reads": frozenset(sreg_reads),
+            "sreg_writes": frozenset(sreg_writes),
+            "next_const": next_const if isinstance(next_const, int) else None,
+            "is_control": is_control,
+            "defaults": tuple(defaults),
+            "trace_values": self._trace_tuple(instr, env, assigned, live_out),
+            "dce_dropped": dce_dropped,
+        }
+        self._piece_cache[key] = cached
+        return cached
+
+    def _translate_instruction(
+        self,
+        sim,
+        instr: Instruction,
+        addr: int,
+        word: int,
+        regcache: RegisterCache | None,
+        position: int,
+        sregs_so_far: set[str] = frozenset(),
+    ):
+        plan = self.plan
+        speculate = plan.buildset.speculation
+        core = self._instruction_core(instr, addr, word)
+        stmts = ast.parse(core["src"]).body
+        env = core["env"]
+        sreg_writes = core["sreg_writes"]
+        trace_values = core["trace_values"]
+        self._dce_dropped += core["dce_dropped"]
+
         has_syscall = self._syscalls[instr.name]
         out: list[ast.stmt] = []
 
@@ -515,16 +932,8 @@ class BlockTranslator:
             for sreg in sorted(sreg_writes):
                 out.append(ast.parse(f"__j.append(('s', {sreg!r}, {sreg}))").body[0])
 
-        # Defensive defaults for conditionally-assigned runtime fields.
-        maybe_unset = self._conditionally_assigned(stmts) & live_out
-        for field_name in sorted(maybe_unset):
-            default = env.get(field_name, 0)
-            if field_name == "next_pc":
-                default = addr + spec.ilen
-            if isinstance(default, (int, bool)):
-                out.append(ast.parse(f"{field_name} = {int(default)}").body[0])
-
-        trace_values = self._trace_tuple(instr, env, assigned, live_out)
+        for default_line in core["defaults"]:
+            out.append(ast.parse(default_line).body[0])
 
         if has_syscall:
             # Handler may mutate registers/memory and may raise ExitProgram:
@@ -533,6 +942,12 @@ class BlockTranslator:
             if regcache is not None:
                 out.extend(regcache.flush())
                 regcache.invalidate()
+            # Special registers written earlier in the unit live in
+            # locals; the handler (and a guest exit unwinding past the
+            # unit epilogue) must see them architecturally.
+            for sreg in sorted(sregs_so_far):
+                out.append(ast.parse(f"__state.sr[{sreg!r}] = {sreg}").body[0])
+            out.append(ast.parse(f"__state.pc = {addr}").body[0])
             out.append(ast.parse(f"__trace.append({trace_values})").body[0])
             out.append(ast.parse(f"di.count = {position + 1}").body[0])
 
@@ -544,9 +959,34 @@ class BlockTranslator:
         if not has_syscall:
             out.append(ast.parse(f"__trace.append({trace_values})").body[0])
 
+        spec = plan.spec
+        if plan.options.peephole:
+            # Copy forwarding: the statements above still thread values
+            # through per-operand temporaries; collapse single-use ones so
+            # a typical ALU instruction becomes one Python statement.
+            protected = frozenset(
+                set(spec.sregs) | set(spec.regfiles) | {"next_pc", "pc", "instr_bits"}
+            )
+            pure = plan.pure_names | frozenset(PURE_NAMESPACE)
+            out = forward_copies(out, protected, pure)
+            out = peephole_stmts(out)
+
+        # A compile-time-constant trace record can be hoisted out of the
+        # instruction and batch-appended by the unit assembler.
+        trace_const = None
+        if not has_syscall:
+            try:
+                ast.literal_eval(trace_values)
+                trace_const = trace_values
+            except (ValueError, SyntaxError):
+                trace_const = None
+
         info = {
-            "control": is_control,
-            "sreg_reads": sreg_reads,
+            "control": core["is_control"],
+            "trace_const": trace_const,
+            "next_const": core["next_const"],
+            "arm_consts": _next_pc_arm_consts(out),
+            "sreg_reads": core["sreg_reads"],
             "sreg_writes": sreg_writes,
             "mem_used": any(
                 isinstance(n, ast.Name) and n.id == "__mem"

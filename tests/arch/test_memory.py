@@ -86,6 +86,31 @@ class TestBulkAccess:
         mem.write_bytes(0x300, b"a" * 64)
         assert mem.read_cstring(0x300, limit=8) == b"a" * 8
 
+    def test_read_cstring_crosses_page_boundary(self):
+        mem = Memory()
+        start = PAGE_SIZE - 3
+        mem.write_bytes(start, b"abcdef\x00")
+        assert mem.read_cstring(start) == b"abcdef"
+
+    def test_read_cstring_nul_at_page_boundary(self):
+        mem = Memory()
+        start = PAGE_SIZE - 4
+        mem.write_bytes(start, b"abcd\x00")
+        assert mem.read_cstring(start) == b"abcd"
+
+    def test_read_cstring_ends_at_unmapped_page(self):
+        # The string runs off the end of its (only) mapped page; the
+        # demand-zero next page supplies the terminator.
+        mem = Memory()
+        mem.write_bytes(PAGE_SIZE - 2, b"xy")
+        assert mem.read_cstring(PAGE_SIZE - 2) == b"xy"
+
+    def test_read_cstring_limit_across_pages(self):
+        mem = Memory()
+        start = PAGE_SIZE - 5
+        mem.write_bytes(start, b"b" * 32)
+        assert mem.read_cstring(start, limit=12) == b"b" * 12
+
 
 class TestSnapshots:
     def test_snapshot_restore(self):

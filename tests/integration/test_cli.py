@@ -47,6 +47,20 @@ class TestCli:
         status = main(["run", "alpha", hello_program, "--buildset", "block_min"])
         assert status == 7
 
+    def test_run_block_tuning_flags(self, hello_program, capsys):
+        status = main(
+            ["run", "alpha", hello_program, "--buildset", "block_min",
+             "--no-chain", "--superblock", "0"]
+        )
+        assert status == 7
+        assert "cli" in capsys.readouterr().out
+
+    def test_run_superblock_budget_flag(self, hello_program):
+        assert main(
+            ["run", "alpha", hello_program, "--buildset", "block_min",
+             "--superblock", "8"]
+        ) == 7
+
     def test_run_budget_exhausted(self, hello_program, capsys):
         status = main(["run", "alpha", hello_program, "--max", "2"])
         assert status == 2

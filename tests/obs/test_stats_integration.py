@@ -62,6 +62,39 @@ class TestKernelsStatsJson:
         assert translate["blocks"] == cache["misses"]
         assert translate["instructions"] > 0
 
+    def test_chain_counters(self, doc):
+        chain = doc["stats"]["counters"]["code_cache"]["chain"]
+        assert chain["links"] > 0
+        assert chain["chained"] > 0  # loops take the patched fast path
+
+    def test_superblock_counters(self, doc):
+        translate = doc["stats"]["counters"]["translate"]
+        assert translate["superblocks"] > 0
+        # superblocks are multi-block by definition
+        assert translate["superblock_instructions"] > translate["superblocks"]
+
+
+class TestBlockTuningFlags:
+    def test_no_chain_flag_disables_chaining(self):
+        rc, doc = _run_json(
+            ["kernels", "alpha", "block_min", "--no-chain", "--stats=json"]
+        )
+        assert rc == 0
+        assert doc["failures"] == 0
+        chain = doc["stats"]["counters"]["code_cache"]["chain"]
+        assert chain["links"] == 0
+        assert chain["chained"] == 0
+
+    def test_superblock_zero_restores_basic_blocks(self):
+        rc, doc = _run_json(
+            ["kernels", "alpha", "block_min", "--superblock", "0",
+             "--stats=json"]
+        )
+        assert rc == 0
+        assert doc["failures"] == 0
+        # the counter only exists when a superblock actually formed
+        assert "superblocks" not in doc["stats"]["counters"]["translate"]
+
 
 class TestStatsSubcommand:
     def test_one_interface_counts_every_instruction(self):
