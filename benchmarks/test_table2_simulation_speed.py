@@ -71,6 +71,12 @@ def test_table2_measure(benchmark, publish, publish_json):
                 buildset: {isa: grid[(buildset, isa)].mips for isa in ISAS}
                 for buildset, *_ in GRID
             },
+            "samples": {
+                buildset: {
+                    isa: list(grid[(buildset, isa)].samples) for isa in ISAS
+                }
+                for buildset, *_ in GRID
+            },
         },
     )
     publish(

@@ -26,7 +26,8 @@ Per-unit guarantees:
   a chaining-off unit carries no chain residue at all;
 * the zero-overhead-when-off contract (``CHK040``) extends to
   translated code: an observe-off unit never references the
-  observability layer.
+  observability layer, and a trace-off unit never references the
+  guest-PC profiling hit counters.
 """
 
 from __future__ import annotations
@@ -146,7 +147,14 @@ def _budget_debits(tree: ast.AST) -> list[object]:
     return out
 
 
-def check_unit(unit: UnitInfo, context: str, *, chain: bool, observe: bool) -> list[Diagnostic]:
+def check_unit(
+    unit: UnitInfo,
+    context: str,
+    *,
+    chain: bool,
+    observe: bool,
+    trace: bool = False,
+) -> list[Diagnostic]:
     """Structural checks over one translated unit's source."""
     where = f"{context} unit at {unit.pc:#x}"
     try:
@@ -233,6 +241,14 @@ def check_unit(unit: UnitInfo, context: str, *, chain: bool, observe: bool) -> l
                 f"observe-off translation",
             )
         )
+    if not trace and "_prof" in unit.source:
+        diags.append(
+            make_diagnostic(
+                "CHK040",
+                f"{where} references the guest-PC profiling layer in a "
+                f"trace-off translation",
+            )
+        )
     return diags
 
 
@@ -286,6 +302,7 @@ def check_translated_units(
                         context,
                         chain=options.chain,
                         observe=options.observe,
+                        trace=getattr(options, "trace", False),
                     )
                 )
     return diags

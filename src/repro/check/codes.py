@@ -45,7 +45,8 @@ _REGISTRY: tuple[CodeInfo, ...] = (
              "record detail not monotonic across sibling interfaces"),
     # -- zero-overhead residue -------------------------------------------------
     CodeInfo("CHK040", Severity.ERROR,
-             "observability probe residue in an observe-off module"),
+             "observability or profiling probe residue in a module "
+             "synthesized with that layer off"),
     CodeInfo("CHK041", Severity.ERROR, "profiling residue in generated module"),
     # -- translated-unit shape (superblocks and chaining) ----------------------
     CodeInfo("CHK050", Severity.ERROR,

@@ -7,7 +7,8 @@ of those features.  The runtime tests sample that promise; this pass
 proves it structurally for every module:
 
 * **CHK040** — an observe-off module contains no ``_obs*`` probe
-  identifiers anywhere.
+  identifiers anywhere, and a trace-off module contains no ``_prof*``
+  guest-PC probe identifiers (the :mod:`repro.prof` hit counters).
 * **CHK041** — a profile-off module contains no ``_hops`` counter
   plumbing; a profile-on module has all its static cost placeholders
   resolved to constants (an unresolved ``__BODY_COST_n__`` would crash
@@ -29,11 +30,13 @@ _PLACEHOLDER = re.compile(
 )
 
 _OBS_PREFIX = "_obs"
+_PROF_PREFIX = "_prof"
 
 
 def check_residue(model: ModuleModel) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     _check_obs_residue(model, diags)
+    _check_trace_residue(model, diags)
     _check_profile_residue(model, diags)
     return diags
 
@@ -53,6 +56,23 @@ def _check_obs_residue(model: ModuleModel, diags: list[Diagnostic]) -> None:
                 )
             )
             return  # the first occurrence identifies the defect
+
+
+def _check_trace_residue(model: ModuleModel, diags: list[Diagnostic]) -> None:
+    if getattr(model.options, "trace", False):
+        return
+    for node in ast.walk(model.tree):
+        name = _identifier(node)
+        if name is not None and name.startswith(_PROF_PREFIX):
+            diags.append(
+                model.diagnostic(
+                    "CHK040",
+                    f"guest-PC profiling probe residue {name!r} in a module "
+                    f"synthesized with trace=False",
+                    node=node,
+                )
+            )
+            return
 
 
 def _check_profile_residue(model: ModuleModel, diags: list[Diagnostic]) -> None:

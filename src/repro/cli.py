@@ -10,6 +10,11 @@
     python -m repro kernels alpha one_min         # run the kernel suite
     python -m repro kernels alpha block_min --stats=json   # scriptable
     python -m repro stats alpha block_min         # observability report
+    python -m repro kernels alpha block_min --profile        # profile report
+    python -m repro kernels alpha block_min --profile=p.json # Chrome trace
+    python -m repro profile alpha block_min       # profiling-first entrypoint
+    python -m repro bench diff old.json new.json  # MIPS regression diff
+    python -m repro bench trail                   # bench trajectory summary
     python -m repro disasm alpha prog.s           # assemble + disassemble
     python -m repro lint alpha                    # static-check the spec
     python -m repro lint alpha --format=json      # machine-readable
@@ -36,6 +41,14 @@ from repro.obs import (
     record_sim_stats,
     render_json,
     render_text,
+)
+from repro.prof import (
+    DEFAULT_THRESHOLD,
+    folded_stacks,
+    profile_document,
+    record_sim_profile,
+    render_profile_text,
+    write_chrome_trace,
 )
 from repro.synth import SynthOptions, synthesize
 from repro.sysemu import OSEmulator, load_image
@@ -81,11 +94,29 @@ def _load_program(args):
     return bundle, image
 
 
-def _stats_setup(stats_mode):
-    """(SynthOptions, Observability) for a --stats mode (None = off)."""
+def _stats_setup(stats_mode, profile: bool = False):
+    """(SynthOptions, Observability) for --stats/--profile (None = off).
+
+    Profiling implies observability (the profiler rides on the same
+    facade) and additionally synthesizes guest-PC trace probes.
+    """
+    if profile:
+        return (
+            SynthOptions(observe=True, trace=True),
+            make_observability(profile=True),
+        )
     if not stats_mode:
         return None, None
     return SynthOptions(observe=True), make_observability()
+
+
+def _emit_profile(prof, dest: str) -> None:
+    """Print the text profile (``dest == "-"``) or write a Chrome trace."""
+    if dest == "-":
+        print(render_profile_text(prof))
+    else:
+        write_chrome_trace(dest, prof)
+        print(f"[profile] wrote Chrome trace to {dest}", file=sys.stderr)
 
 
 def _apply_block_flags(options, args):
@@ -129,7 +160,7 @@ def _print_stats(stats: dict, mode: str) -> None:
 
 def _cmd_run(args) -> int:
     bundle, image = _load_program(args)
-    options, obs = _stats_setup(args.stats)
+    options, obs = _stats_setup(args.stats, bool(args.profile))
     options = _apply_block_flags(options, args)
     generated = synthesize(bundle.load_spec(), args.buildset, options)
     os_emu = OSEmulator(
@@ -152,15 +183,27 @@ def _cmd_run(args) -> int:
         record_generated_stats(obs, generated)
         record_sim_stats(obs, sim)
         obs.counters.inc("run.instructions", result.executed)
-        stats = collect(obs)
-        stats["run"] = {
-            "isa": args.isa,
-            "buildset": args.buildset,
-            "executed": result.executed,
-            "exited": result.exited,
-            "exit_status": result.exit_status,
-        }
-        _print_stats(stats, args.stats)
+        if obs.prof.enabled:
+            record_sim_profile(obs.prof, sim)
+            obs.prof.meta.update(
+                {
+                    "isa": args.isa,
+                    "buildset": args.buildset,
+                    "ilen": generated.plan.spec.ilen,
+                    "command": "run",
+                }
+            )
+            _emit_profile(obs.prof, args.profile)
+        if args.stats:
+            stats = collect(obs)
+            stats["run"] = {
+                "isa": args.isa,
+                "buildset": args.buildset,
+                "executed": result.executed,
+                "exited": result.exited,
+                "exit_status": result.exit_status,
+            }
+            _print_stats(stats, args.stats)
     return (result.exit_status or 0) if result.exited else 2
 
 
@@ -177,12 +220,25 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
-def _run_kernel_suite(isa: str, buildset: str, stats_mode, kernels=None, args=None):
-    """Run the kernel suite; returns (records, failures, stats-or-None)."""
-    options, obs = _stats_setup(stats_mode)
+def _run_kernel_suite(
+    isa: str, buildset: str, stats_mode, kernels=None, args=None,
+    profile: bool = False,
+):
+    """Run the kernel suite; returns (records, failures, stats, obs)."""
+    options, obs = _stats_setup(stats_mode, profile)
     if args is not None:
         options = _apply_block_flags(options, args)
-    generated = synthesize(get_bundle(isa).load_spec(), buildset, options)
+    spec = get_bundle(isa).load_spec()
+    generated = synthesize(spec, buildset, options)
+    if profile:
+        obs.prof.meta.update(
+            {
+                "isa": isa,
+                "buildset": buildset,
+                "ilen": spec.ilen,
+                "command": "kernels",
+            }
+        )
     records = []
     failures = 0
     for name in kernels if kernels else kernel_names():
@@ -200,14 +256,16 @@ def _run_kernel_suite(isa: str, buildset: str, stats_mode, kernels=None, args=No
     stats = None
     if obs is not None:
         record_generated_stats(obs, generated)
-        stats = collect(obs)
-    return records, failures, stats
+        if stats_mode:
+            stats = collect(obs)
+    return records, failures, stats, obs
 
 
 def _cmd_kernels(args) -> int:
     stats_mode = args.stats
-    records, failures, stats = _run_kernel_suite(
-        args.isa, args.buildset, stats_mode, args=args
+    records, failures, stats, obs = _run_kernel_suite(
+        args.isa, args.buildset, stats_mode, args=args,
+        profile=bool(args.profile),
     )
     as_json = args.json or stats_mode == "json"
     if as_json:
@@ -221,6 +279,10 @@ def _cmd_kernels(args) -> int:
         }
         if stats is not None:
             doc["stats"] = stats
+        if args.profile == "-":
+            doc["profile"] = profile_document(obs.prof)
+        elif args.profile:
+            write_chrome_trace(args.profile, obs.prof)
         print(json.dumps(doc, indent=2, sort_keys=True))
         return 1 if failures else 0
     rows = [
@@ -242,14 +304,17 @@ def _cmd_kernels(args) -> int:
     )
     if stats is not None:
         _print_stats(stats, stats_mode)
+    if args.profile:
+        _emit_profile(obs.prof, args.profile)
     return 1 if failures else 0
 
 
 def _cmd_stats(args) -> int:
     """Observability-first entrypoint: run kernels, print the report."""
     kernels = args.kernel or None
-    records, failures, stats = _run_kernel_suite(
-        args.isa, args.buildset, "json" if args.json else "text", kernels
+    records, failures, stats, _obs = _run_kernel_suite(
+        _require_isa(args.isa), args.buildset,
+        "json" if args.json else "text", kernels,
     )
     if args.json:
         print(
@@ -288,6 +353,72 @@ def _require_isa(name: str) -> str:
         )
         raise SystemExit(2)
     return name
+
+
+def _cmd_profile(args) -> int:
+    """Profiling-first entrypoint: run kernels, print the profile."""
+    isa = _require_isa(args.isa)
+    records, failures, _stats, obs = _run_kernel_suite(
+        isa, args.buildset, None, args.kernel or None, profile=True
+    )
+    prof = obs.prof
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, prof)
+        print(f"[profile] wrote Chrome trace to {args.trace_out}",
+              file=sys.stderr)
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(folded_stacks(prof))
+        print(f"[profile] wrote folded stacks to {args.folded}",
+              file=sys.stderr)
+    if args.json:
+        doc = profile_document(prof)
+        doc["kernels"] = [
+            {**r, "mips": round(r["mips"], 3)} for r in records
+        ]
+        doc["failures"] = failures
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        executed = sum(r["instructions"] for r in records)
+        print(
+            f"[{isa}/{args.buildset}] {len(records)} kernels, "
+            f"{executed} instructions, {failures} failures"
+        )
+        print(render_profile_text(prof))
+    return 1 if failures else 0
+
+
+def _cmd_bench(args) -> int:
+    """Bench-artifact tooling: ``bench diff`` and ``bench trail``."""
+    from repro.prof.bench import (
+        bench_trail,
+        diff_bench,
+        load_bench,
+        render_diff,
+        render_trail,
+    )
+
+    if args.bench_command == "diff":
+        try:
+            old = load_bench(args.old)
+            new = load_bench(args.new)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro bench diff: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_bench(old, new, args.threshold)
+        if args.json:
+            print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff))
+        return 0 if args.warn_only else diff.exit_code
+    rows = bench_trail(args.dir)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    elif not rows:
+        print(f"no BENCH_*.json artifacts under {args.dir}")
+    else:
+        print(render_trail(rows))
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -409,6 +540,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(--stats or --stats=json)",
         )
 
+    def add_profile_flag(p):
+        p.add_argument(
+            "--profile",
+            nargs="?",
+            const="-",
+            default=None,
+            metavar="OUT.json",
+            help="profile the run (span tracing + guest attribution); "
+            "bare --profile prints the text report, --profile=OUT.json "
+            "writes a Chrome Trace Event file instead",
+        )
+
     p_run = sub.add_parser("run", help="assemble and run a guest program")
     p_run.add_argument("isa", choices=available_isas())
     p_run.add_argument("program", help="assembly source file")
@@ -419,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pass host stdin to the guest")
     add_block_flags(p_run)
     add_stats_flag(p_run)
+    add_profile_flag(p_run)
 
     p_dis = sub.add_parser("disasm", help="assemble and disassemble a program")
     p_dis.add_argument("isa", choices=available_isas())
@@ -432,12 +576,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit results as JSON instead of a table")
     add_block_flags(p_kern)
     add_stats_flag(p_kern)
+    add_profile_flag(p_kern)
 
     p_stats = sub.add_parser(
         "stats",
         help="run kernels with observability enabled, print the stats report",
     )
-    p_stats.add_argument("isa", choices=available_isas())
+    p_stats.add_argument("isa")
     p_stats.add_argument("buildset", nargs="?", default="block_min")
     p_stats.add_argument(
         "--kernel",
@@ -447,6 +592,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--json", action="store_true",
                          help="emit the full report as JSON")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run kernels with profiling enabled: span tree, hot guest "
+        "blocks, Chrome-trace and flamegraph exports",
+    )
+    p_prof.add_argument("isa")
+    p_prof.add_argument("buildset", nargs="?", default="block_min")
+    p_prof.add_argument(
+        "--kernel",
+        action="append",
+        choices=kernel_names(),
+        help="restrict to one kernel (repeatable); default: the whole suite",
+    )
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the profile document as JSON")
+    p_prof.add_argument(
+        "--trace-out", metavar="OUT.json",
+        help="also write a Chrome Trace Event file (Perfetto-loadable)",
+    )
+    p_prof.add_argument(
+        "--folded", metavar="OUT.txt",
+        help="also write folded stacks for flamegraph.pl",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="bench-artifact tooling: regression diff and trajectory",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_diff = bench_sub.add_parser(
+        "diff", help="compare two BENCH_*.json artifacts cell by cell"
+    )
+    p_diff.add_argument("old", help="baseline BENCH_*.json")
+    p_diff.add_argument("new", help="candidate BENCH_*.json")
+    p_diff.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="F",
+        help="relative MIPS loss that counts as a regression "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    p_diff.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 (CI advisory mode)",
+    )
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit the diff as JSON")
+    p_trail = bench_sub.add_parser(
+        "trail", help="summarize every BENCH_*.json in a results directory"
+    )
+    p_trail.add_argument(
+        "--dir", default="benchmarks/_results",
+        help="results directory (default: benchmarks/_results)",
+    )
+    p_trail.add_argument("--json", action="store_true",
+                         help="emit the trajectory as JSON")
 
     p_lint = sub.add_parser(
         "lint", help="run static analysis over an ISA's specification files"
@@ -507,6 +707,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "check": _cmd_check,
     "stats": _cmd_stats,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
     "table1": _cmd_table1,
 }
 

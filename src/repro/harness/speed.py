@@ -48,6 +48,11 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
 
+def bench_reps() -> int:
+    """Timed repetitions per kernel, settable via REPRO_BENCH_REPS."""
+    return max(1, int(os.environ.get("REPRO_BENCH_REPS", "2")))
+
+
 @dataclass
 class SpeedMeasurement:
     isa: str
@@ -55,10 +60,16 @@ class SpeedMeasurement:
     mips: float
     instructions: int
     elapsed: float
+    #: per-repetition geomean MIPS across the kernels; the headline
+    #: ``mips`` is best-of-reps per kernel, the samples let consumers
+    #: (``repro bench diff``) pick the least-disturbed repetition
+    samples: tuple[float, ...] = ()
 
 
-def _measure_one(sim_factory, isa: str, kernels, scale: float) -> tuple[float, int, float]:
-    """Geomean MIPS over kernels; returns (mips, instrs, seconds).
+def _measure_one(
+    sim_factory, isa: str, kernels, scale: float
+) -> tuple[float, int, float, tuple[float, ...]]:
+    """Geomean MIPS over kernels; returns (mips, instrs, seconds, samples).
 
     Each kernel is run once to warm translation caches, then re-run from a
     snapshot for the timed measurement.  The paper measures over the first
@@ -67,7 +78,10 @@ def _measure_one(sim_factory, isa: str, kernels, scale: float) -> tuple[float, i
     (Table III accounts for translation cost explicitly instead).
     """
     bundle = get_bundle(isa)
+    reps = bench_reps()
     rates: list[float] = []
+    #: per-repetition, per-kernel instruction rates
+    rep_rates: list[list[float]] = [[] for _ in range(reps)]
     total_instructions = 0
     total_elapsed = 0.0
     for name in kernels:
@@ -85,19 +99,26 @@ def _measure_one(sim_factory, isa: str, kernels, scale: float) -> tuple[float, i
         if not warm.exited:
             raise RuntimeError(f"{isa}/{name}: did not finish")
         best_rate = 0.0
-        for _ in range(2):  # best-of-two to damp scheduler noise
+        for rep in range(reps):  # best-of-reps to damp scheduler noise
             sim.state.restore(snapshot)
             start = time.perf_counter()
             result = sim.run(200_000_000)
             elapsed = time.perf_counter() - start
             if not result.exited:
                 raise RuntimeError(f"{isa}/{name}: did not finish (timed run)")
-            best_rate = max(best_rate, result.executed / max(elapsed, 1e-9))
+            rate = result.executed / max(elapsed, 1e-9)
+            best_rate = max(best_rate, rate)
+            rep_rates[rep].append(rate)
             total_instructions += result.executed
             total_elapsed += elapsed
         rates.append(best_rate)
     geomean = math.exp(sum(math.log(rate) for rate in rates) / len(rates))
-    return geomean / 1e6, total_instructions, total_elapsed
+    samples = tuple(
+        math.exp(sum(math.log(r) for r in row) / len(row)) / 1e6
+        for row in rep_rates
+        if row
+    )
+    return geomean / 1e6, total_instructions, total_elapsed, samples
 
 
 def measure_buildset(
@@ -110,10 +131,10 @@ def measure_buildset(
     """MIPS of one synthesized interface on one ISA."""
     scale = bench_scale() if scale is None else scale
     generated = synthesize(get_bundle(isa).load_spec(), buildset, options)
-    mips, instructions, elapsed = _measure_one(
+    mips, instructions, elapsed, samples = _measure_one(
         lambda os_emu: generated.make(syscall_handler=os_emu), isa, kernels, scale
     )
-    return SpeedMeasurement(isa, buildset, mips, instructions, elapsed)
+    return SpeedMeasurement(isa, buildset, mips, instructions, elapsed, samples)
 
 
 def measure_interpreter(
@@ -125,13 +146,15 @@ def measure_interpreter(
     """MIPS of the interpreted execution style (footnote 5)."""
     scale = bench_scale() if scale is None else scale
     spec = get_bundle(isa).load_spec()
-    mips, instructions, elapsed = _measure_one(
+    mips, instructions, elapsed, samples = _measure_one(
         lambda os_emu: InterpretedSimulator(spec, buildset, syscall_handler=os_emu),
         isa,
         kernels,
         scale,
     )
-    return SpeedMeasurement(isa, f"interp:{buildset}", mips, instructions, elapsed)
+    return SpeedMeasurement(
+        isa, f"interp:{buildset}", mips, instructions, elapsed, samples
+    )
 
 
 def table2(

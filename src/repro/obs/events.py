@@ -35,9 +35,15 @@ class Event:
 
 
 class EventRing:
-    """Overwriting ring buffer of :class:`Event` records."""
+    """Overwriting ring buffer of :class:`Event` records.
 
-    __slots__ = ("capacity", "_buf", "_next", "emitted")
+    Wrapping is not silent: every overwritten event increments
+    :attr:`dropped`, which :func:`repro.obs.report.collect` surfaces as
+    the ``events.dropped`` counter so a truncated trace is visible in
+    both the text and JSON stats renderings.
+    """
+
+    __slots__ = ("capacity", "_buf", "_next", "emitted", "dropped")
 
     enabled = True
 
@@ -48,16 +54,16 @@ class EventRing:
         self._buf: list[Event | None] = [None] * capacity
         self._next = 0
         self.emitted = 0
-
-    @property
-    def dropped(self) -> int:
-        """Events overwritten because the ring was full."""
-        return max(0, self.emitted - self.capacity)
+        #: events overwritten because the ring was full
+        self.dropped = 0
 
     def emit(self, kind: str, **fields) -> None:
         event = Event(self.emitted, kind, tuple(sorted(fields.items())))
-        self._buf[self._next] = event
-        self._next = (self._next + 1) % self.capacity
+        slot = self._next
+        if self._buf[slot] is not None:
+            self.dropped += 1
+        self._buf[slot] = event
+        self._next = (slot + 1) % self.capacity
         self.emitted += 1
 
     def snapshot(self) -> list[Event]:
@@ -69,6 +75,7 @@ class EventRing:
         self._buf = [None] * self.capacity
         self._next = 0
         self.emitted = 0
+        self.dropped = 0
 
     def __len__(self) -> int:
         return min(self.emitted, self.capacity)

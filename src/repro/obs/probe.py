@@ -27,34 +27,44 @@ from __future__ import annotations
 
 from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.obs.events import NULL_EVENTS, EventRing
+from repro.prof.profiler import NULL_PROF, Profiler
 
 
 class Observability:
-    """Live counters + event ring shared across one run's components."""
+    """Live counters + event ring shared across one run's components.
 
-    __slots__ = ("counters", "events")
+    ``profiler`` optionally attaches a :class:`repro.prof.Profiler` as
+    ``self.prof``; layers branch once on ``obs.prof.enabled`` to select
+    their profiled variants, exactly as they branch on ``obs.enabled``
+    for counting.
+    """
+
+    __slots__ = ("counters", "events", "prof")
 
     enabled = True
 
-    def __init__(self, ring_capacity: int = 4096) -> None:
+    def __init__(self, ring_capacity: int = 4096, profiler=None) -> None:
         self.counters = Counters()
         self.events = EventRing(ring_capacity)
+        self.prof = profiler if profiler is not None else NULL_PROF
 
     def clear(self) -> None:
         self.counters.clear()
         self.events.clear()
+        self.prof.clear()
 
 
 class _NullObservability:
     """Disabled facade: null counters, null events, ``enabled = False``."""
 
-    __slots__ = ("counters", "events")
+    __slots__ = ("counters", "events", "prof")
 
     enabled = False
 
     def __init__(self) -> None:
         self.counters = NULL_COUNTERS
         self.events = NULL_EVENTS
+        self.prof = NULL_PROF
 
     def clear(self) -> None:
         pass
@@ -64,6 +74,15 @@ class _NullObservability:
 NULL_OBS = _NullObservability()
 
 
-def make_observability(enabled: bool = True, ring_capacity: int = 4096):
-    """An :class:`Observability` when enabled, else the shared null."""
+def make_observability(
+    enabled: bool = True, ring_capacity: int = 4096, profile: bool = False
+):
+    """An :class:`Observability` when enabled, else the shared null.
+
+    ``profile=True`` additionally attaches a live
+    :class:`repro.prof.Profiler` (and implies ``enabled``): profiling
+    rides on the same facade the counters do.
+    """
+    if profile:
+        return Observability(ring_capacity, profiler=Profiler())
     return Observability(ring_capacity) if enabled else NULL_OBS

@@ -86,6 +86,10 @@ def record_timing_stats(obs, organization: str, model) -> None:
 def collect(obs, recent: int = RECENT_EVENTS) -> dict:
     """Render ``obs`` into the canonical stats document."""
     events = obs.events
+    if events.dropped:
+        # Surface ring truncation as a gauge in the counter tree too, so
+        # consumers that only look at counters still see it.
+        obs.counters.put("events.dropped", events.dropped)
     tail = events.snapshot()[-recent:] if recent else []
     return {
         "counters": obs.counters.as_tree(),
@@ -122,10 +126,16 @@ def render_text(stats: dict) -> str:
         lines.append("(no counters recorded)")
     events = stats.get("events", {})
     if events:
+        dropped = events.get("dropped", 0)
         lines.append(
             f"events: {events.get('emitted', 0)} emitted, "
-            f"{events.get('dropped', 0)} dropped"
+            f"{dropped} dropped"
         )
+        if dropped:
+            lines.append(
+                f"  WARNING: event trace truncated — the ring overwrote "
+                f"{dropped} event(s); raise ring_capacity for a full trace"
+            )
         for event in events.get("recent", []):
             fields = ", ".join(
                 f"{k}={v}" for k, v in sorted(event.items())

@@ -1,0 +1,97 @@
+"""Profiling and tracing: where the host's time goes, per guest cause.
+
+The observability subsystem (:mod:`repro.obs`) counts *how often*
+mechanisms fire; this sibling answers *how long they take* and *which
+guest code is hot* — the attribution the paper's Tables II/III argue
+from.  Same contract as every layer it watches: the enabled and
+disabled variants are selected at synthesis/construction time
+(``obs.prof`` is either a live :class:`Profiler` or the shared
+:data:`NULL_PROF`), never tested per event, and ``repro check``'s
+residue pass proves the off state leaves no bytecode behind.
+
+Layers:
+
+* :mod:`repro.prof.spans` — nested wall-clock span tracing
+  (translate / execute / chain_patch / syscall / rollback /
+  timing_model) aggregated into a self/total span tree;
+* :mod:`repro.prof.guest` — guest attribution: per-translated-unit
+  timing, synthesized per-PC probes, a background PC sampler, and an
+  optional ``sys.setprofile`` host-call mode;
+* :mod:`repro.prof.export` — Chrome Trace Event JSON, folded stacks
+  for ``flamegraph.pl``, report documents and text rendering;
+* :mod:`repro.prof.bench` — ``BENCH_*.json`` regression diffing and
+  the bench trajectory (``repro bench diff`` / ``repro bench trail``).
+"""
+
+from repro.prof.bench import (
+    BenchDiff,
+    DEFAULT_THRESHOLD,
+    bench_trail,
+    diff_bench,
+    flatten_mips,
+    load_bench,
+    render_diff,
+    render_trail,
+)
+from repro.prof.export import (
+    chrome_trace,
+    folded_stacks,
+    profile_document,
+    render_profile_text,
+    write_chrome_trace,
+)
+from repro.prof.guest import (
+    NULL_GUEST,
+    GuestProfiler,
+    HostCallProfiler,
+    NullGuestProfiler,
+    PCSampler,
+)
+from repro.prof.profiler import NULL_PROF, NullProfiler, Profiler, record_sim_profile
+from repro.prof.spans import (
+    CHAIN_PATCH,
+    EXECUTE,
+    NULL_SPANS,
+    ROLLBACK,
+    SYSCALL,
+    TIMING,
+    TRANSLATE,
+    NullSpanTracer,
+    SpanNode,
+    SpanTracer,
+)
+
+__all__ = [
+    "BenchDiff",
+    "CHAIN_PATCH",
+    "DEFAULT_THRESHOLD",
+    "EXECUTE",
+    "GuestProfiler",
+    "HostCallProfiler",
+    "NULL_GUEST",
+    "NULL_PROF",
+    "NULL_SPANS",
+    "NullGuestProfiler",
+    "NullProfiler",
+    "NullSpanTracer",
+    "PCSampler",
+    "Profiler",
+    "ROLLBACK",
+    "SYSCALL",
+    "SpanNode",
+    "SpanTracer",
+    "TIMING",
+    "TRANSLATE",
+    "bench_trail",
+    "chrome_trace",
+    "diff_bench",
+    "flatten_mips",
+    "folded_stacks",
+    "load_bench",
+    "profile_document",
+    "record_sim_profile",
+    "render_diff",
+    "render_profile_text",
+    "render_trail",
+    "write_chrome_trace",
+]

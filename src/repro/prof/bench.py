@@ -1,0 +1,244 @@
+"""Bench-trajectory tooling over ``BENCH_<exp_id>.json`` artifacts.
+
+Every benchmark run persists its raw measurements as a ``BENCH_*.json``
+document (see ``benchmarks/conftest.py``); until now those were
+write-only.  This module turns them into a regression trajectory:
+
+* :func:`flatten_mips` — extract every ``(label path) -> MIPS`` cell
+  from a bench document's ``mips`` tree, whatever its nesting shape
+  (``{isa: {on, off}}`` for ablations, ``{buildset: {isa: v}}`` for
+  Table II, ...).  When a parallel ``samples`` tree carries
+  per-repetition measurements, the **minimum** sample is used — the
+  least-disturbed repetition, not a noise-inflated mean.
+* :func:`diff_bench` — per-cell deltas between two documents of the
+  same experiment, with a regression threshold; drives
+  ``repro bench diff`` and its non-zero exit on regression.
+* :func:`bench_trail` — one summary row per artifact in a results
+  directory (``repro bench trail``), the bench trajectory at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+#: default regression threshold: fail past a 10% MIPS loss
+DEFAULT_THRESHOLD = 0.10
+
+#: cells whose key path ends in one of these are derived, not measurements
+_DERIVED_LEAVES = frozenset({"ratio", "speedup", "share"})
+
+
+def load_bench(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _walk(node, path: tuple[str, ...], out: dict) -> None:
+    if isinstance(node, dict):
+        for key in sorted(node):
+            _walk(node[key], path + (str(key),), out)
+    elif isinstance(node, list):
+        if node and all(isinstance(v, (int, float)) for v in node):
+            out[path] = min(node)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[path] = float(node)
+
+
+def flatten_mips(doc: dict) -> dict[tuple[str, ...], float]:
+    """Every measured MIPS cell of a bench document, keyed by label path.
+
+    Derived cells (``ratio``/``speedup``) are skipped — they regress
+    whenever their inputs do and would double-report.  When the document
+    carries a ``samples`` tree mirroring ``mips``, each cell prefers
+    ``min(samples)`` over the headline scalar.
+    """
+    cells: dict[tuple[str, ...], float] = {}
+    _walk(doc.get("mips", {}), (), cells)
+    cells = {
+        path: value
+        for path, value in cells.items()
+        if not (path and path[-1] in _DERIVED_LEAVES)
+    }
+    samples: dict[tuple[str, ...], float] = {}
+    _walk(doc.get("samples", {}), (), samples)
+    for path, value in samples.items():
+        if path in cells:
+            cells[path] = value
+    return cells
+
+
+@dataclass
+class DiffRow:
+    """One compared cell."""
+
+    key: tuple[str, ...]
+    old: float
+    new: float
+
+    @property
+    def delta(self) -> float:
+        """Relative change: ``new/old - 1`` (negative = slower)."""
+        return self.new / self.old - 1.0 if self.old else math.inf
+
+    @property
+    def label(self) -> str:
+        return "/".join(self.key)
+
+
+@dataclass
+class BenchDiff:
+    """Result of diffing two bench documents."""
+
+    experiment: str
+    threshold: float
+    rows: list[DiffRow] = field(default_factory=list)
+    only_old: list[str] = field(default_factory=list)
+    only_new: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffRow]:
+        return [row for row in self.rows if row.delta < -self.threshold]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "threshold": self.threshold,
+            "cells": [
+                {
+                    "key": row.label,
+                    "old": row.old,
+                    "new": row.new,
+                    "delta": row.delta,
+                    "regressed": row.delta < -self.threshold,
+                }
+                for row in self.rows
+            ],
+            "only_old": self.only_old,
+            "only_new": self.only_new,
+            "regressions": len(self.regressions),
+        }
+
+
+def diff_bench(
+    old: dict, new: dict, threshold: float = DEFAULT_THRESHOLD
+) -> BenchDiff:
+    """Compare two bench documents cell by cell.
+
+    Documents of different experiments still diff (cells match by label
+    path), but the mismatch is worth surfacing — the experiment name in
+    the result is ``old != new`` aware.
+    """
+    old_cells = flatten_mips(old)
+    new_cells = flatten_mips(new)
+    old_exp = old.get("experiment", "?")
+    new_exp = new.get("experiment", "?")
+    experiment = old_exp if old_exp == new_exp else f"{old_exp} vs {new_exp}"
+    diff = BenchDiff(experiment=experiment, threshold=threshold)
+    for key in sorted(set(old_cells) | set(new_cells)):
+        if key not in old_cells:
+            diff.only_new.append("/".join(key))
+        elif key not in new_cells:
+            diff.only_old.append("/".join(key))
+        else:
+            diff.rows.append(DiffRow(key, old_cells[key], new_cells[key]))
+    return diff
+
+
+def render_diff(diff: BenchDiff) -> str:
+    """Human-oriented diff rendering."""
+    from repro.harness.tables import render_table
+
+    rows = []
+    for row in diff.rows:
+        flag = ""
+        if row.delta < -diff.threshold:
+            flag = "REGRESSED"
+        elif row.delta > diff.threshold:
+            flag = "improved"
+        rows.append(
+            [row.label, f"{row.old:.3f}", f"{row.new:.3f}",
+             f"{row.delta * +100:+.1f}%", flag]
+        )
+    out = [
+        render_table(
+            f"Bench diff: {diff.experiment} "
+            f"(threshold {diff.threshold * 100:.0f}%)",
+            ["cell", "old MIPS", "new MIPS", "delta", ""],
+            rows,
+        )
+    ]
+    for label in diff.only_old:
+        out.append(f"only in old: {label}")
+    for label in diff.only_new:
+        out.append(f"only in new: {label}")
+    n = len(diff.regressions)
+    out.append(
+        f"{n} regression(s) past {diff.threshold * 100:.0f}% "
+        f"across {len(diff.rows)} compared cell(s)"
+    )
+    return "\n".join(out)
+
+
+def _geomean(values: list[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def bench_trail(results_dir: str) -> list[dict]:
+    """One summary row per ``BENCH_*.json`` artifact in a directory."""
+    rows: list[dict] = []
+    try:
+        names = sorted(
+            n for n in os.listdir(results_dir)
+            if n.startswith("BENCH_") and n.endswith(".json")
+        )
+    except FileNotFoundError:
+        return rows
+    for name in names:
+        path = os.path.join(results_dir, name)
+        try:
+            doc = load_bench(path)
+        except (OSError, json.JSONDecodeError):
+            rows.append({"file": name, "experiment": "(unreadable)",
+                         "cells": 0, "geomean_mips": 0.0, "scale": None})
+            continue
+        cells = flatten_mips(doc)
+        rows.append(
+            {
+                "file": name,
+                "experiment": doc.get("experiment", "?"),
+                "cells": len(cells),
+                "geomean_mips": _geomean(list(cells.values())),
+                "scale": doc.get("scale"),
+            }
+        )
+    return rows
+
+
+def render_trail(rows: list[dict]) -> str:
+    from repro.harness.tables import render_table
+
+    table = [
+        [
+            row["file"],
+            row["experiment"],
+            row["cells"],
+            f"{row['geomean_mips']:.3f}" if row["geomean_mips"] else "-",
+            row["scale"] if row["scale"] is not None else "-",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        "Bench trajectory (geomean MIPS over each artifact's cells)",
+        ["artifact", "experiment", "cells", "geomean", "scale"],
+        table,
+    )

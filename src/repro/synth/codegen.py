@@ -40,6 +40,11 @@ class SynthOptions:
     #: emit observability probes (per-entrypoint counters) into generated
     #: code; off by default so the disabled path carries zero extra bytecode
     observe: bool = False
+    #: emit profiling probes (per-guest-PC hit counts feeding the
+    #: :mod:`repro.prof` hot-PC attribution) into generated code; off by
+    #: default under the same zero-overhead-when-off contract, proved
+    #: structurally by ``repro check``'s CHK040 residue pass
+    trace: bool = False
     #: maximum translated blocks kept in the code cache (None = unbounded)
     cache_limit: int | None = None
     #: total instruction budget of one translation unit; when positive the
@@ -542,6 +547,9 @@ def generate_one_module(plan: BuildPlan) -> str:
         )
     if plan.options.profile:
         writer.line("self._hops += __EP_COST__")
+    if plan.options.trace:
+        writer.line("_ph = self._prof_hits")
+        writer.line("_ph[pc] = _ph.get(pc, 0) + 1")
     writer.line("_B[__op](self, di, pc, instr_bits)", SpecOrigin(kind="dispatch"))
     writer.dedent()
     writer.line()
@@ -731,6 +739,9 @@ def generate_step_module(plan: BuildPlan) -> str:
                     SpecOrigin(kind="store", detail=name,
                                loc=_field_loc(spec, name)),
                 )
+            if plan.options.trace and ep_index == 0:
+                writer.line("_ph = self._prof_hits")
+                writer.line("_ph[pc] = _ph.get(pc, 0) + 1")
         elif ep_index == plan.decode_ep_index:
             if plan.decode_ep_index == 0:
                 # decode entry also performs the pre-decode work
@@ -745,6 +756,9 @@ def generate_step_module(plan: BuildPlan) -> str:
                         SpecOrigin(kind="store", detail=name,
                                    loc=_field_loc(spec, name)),
                     )
+                if plan.options.trace:
+                    writer.line("_ph = self._prof_hits")
+                    writer.line("_ph[pc] = _ph.get(pc, 0) + 1")
             else:
                 writer.line("instr_bits = di.instr_bits")
             emit_decode_dispatch(writer, plan, "instr_bits")

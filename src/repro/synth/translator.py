@@ -31,6 +31,7 @@ from repro.adl.spec import Instruction
 from repro.arch.faults import IllegalInstruction
 from repro.obs.events import BLOCK_TRANSLATE
 from repro.obs.probe import NULL_OBS
+from repro.prof.spans import TRANSLATE as TRANSLATE_SPAN
 from repro.ops import PURE_NAMESPACE
 from repro.synth.codegen import (
     BuildPlan,
@@ -423,6 +424,14 @@ class BlockTranslator:
         """
         if not self.obs.enabled:
             return self._translate(sim, start_pc, limit)
+        prof = self.obs.prof
+        if prof.enabled:
+            with prof.spans.span(TRANSLATE_SPAN):
+                return self._translate_counted(sim, start_pc, limit)
+        return self._translate_counted(sim, start_pc, limit)
+
+    def _translate_counted(self, sim, start_pc: int, limit: int | None = None):
+        """Counting body of :meth:`translate` (observability enabled)."""
         start = time.perf_counter()
         fn = self._translate(sim, start_pc, limit)
         elapsed_us = int((time.perf_counter() - start) * 1e6)
@@ -457,6 +466,8 @@ class BlockTranslator:
         fn = namespace[name]
         fn.__block_source__ = source
         fn.__block_len__ = self._last_block_len
+        fn.__block_pc__ = start_pc
+        fn.__block_parts__ = self._last_parts
         fn.__chain_cells__ = tuple(cell for _cell_name, cell in cells)
         if self.plan.options.profile:
             import dis
@@ -468,6 +479,8 @@ class BlockTranslator:
             fn = namespace[name]
             fn.__block_source__ = source
             fn.__block_len__ = self._last_block_len
+            fn.__block_pc__ = start_pc
+            fn.__block_parts__ = self._last_parts
             fn.__chain_cells__ = tuple(cell for _cell_name, cell in cells)
             sim._hops += cost * self.TRANSLATE_COST_FACTOR
         return fn

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.arch.faults import ExitProgram
 from repro.obs.probe import NULL_OBS
 from repro.obs.report import record_timing_stats
+from repro.prof.spans import TIMING
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.pipeline import InOrderPipelineModel, TimingReport
 
@@ -45,16 +46,38 @@ class FunctionalFirstSimulator:
         self._next = index["next_pc"]
         self._ea = index.get("effective_addr")
         self._taken = index.get("branch_taken")
+        # Construction-time selection, as everywhere: the profiled twin
+        # wraps each block's trace consumption in a TIMING span.
+        self._consume = (
+            self._consume_trace_profiled
+            if self.obs.prof.enabled
+            else self._consume_trace
+        )
 
     @property
     def state(self):
         return self.sim.state
 
+    def _consume_trace(self, trace) -> None:
+        timing = self.timing
+        for record in trace:
+            timing.consume(
+                record[self._pc],
+                record[self._bits],
+                record[self._next],
+                record[self._ea] if self._ea is not None else None,
+                record[self._taken] if self._taken is not None else None,
+            )
+
+    def _consume_trace_profiled(self, trace) -> None:
+        with self.obs.prof.spans.span(TIMING):
+            self._consume_trace(trace)
+
     def run(self, max_instructions: int) -> TimingReport:
         """Run until guest exit or the instruction budget is spent."""
         report = TimingReport("functional-first")
         sim = self.sim
-        timing = self.timing
+        consume = self._consume
         di = sim.di
         executed = 0
         try:
@@ -62,23 +85,9 @@ class FunctionalFirstSimulator:
                 di.count = 0
                 sim.do_block(di)
                 executed += di.count
-                for record in di.trace:
-                    timing.consume(
-                        record[self._pc],
-                        record[self._bits],
-                        record[self._next],
-                        record[self._ea] if self._ea is not None else None,
-                        record[self._taken] if self._taken is not None else None,
-                    )
+                consume(di.trace)
         except ExitProgram as exc:
-            for record in di.trace:
-                timing.consume(
-                    record[self._pc],
-                    record[self._bits],
-                    record[self._next],
-                    record[self._ea] if self._ea is not None else None,
-                    record[self._taken] if self._taken is not None else None,
-                )
+            consume(di.trace)
             report.exit_status = exc.status
         if self.obs.enabled:
             record_timing_stats(self.obs, "functional_first", self.timing)

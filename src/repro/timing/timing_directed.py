@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.arch.faults import ExitProgram
 from repro.obs.probe import NULL_OBS
 from repro.obs.report import record_timing_stats
+from repro.prof.spans import TIMING as TIMING_SPAN
 from repro.synth.synthesizer import GeneratedSimulator
 from repro.timing.classify import BRANCH, LOAD, MUL, STORE, InstructionClassifier
 from repro.timing.pipeline import TimingReport, default_caches
@@ -84,6 +85,13 @@ class TimingDirectedSimulator:
         self.instructions += 1
 
     def run(self, max_instructions: int) -> TimingReport:
+        """Profiling-aware entry: a TIMING span brackets the whole drive."""
+        if self.obs.prof.enabled:
+            with self.obs.prof.spans.span(TIMING_SPAN):
+                return self._run(max_instructions)
+        return self._run(max_instructions)
+
+    def _run(self, max_instructions: int) -> TimingReport:
         report = TimingReport("timing-directed")
         try:
             while self.instructions < max_instructions:

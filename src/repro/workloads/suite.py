@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.isa.base import get_bundle
 from repro.obs.report import record_sim_stats
+from repro.prof.profiler import record_sim_profile
 from repro.sysemu.loader import load_image
 from repro.sysemu.syscalls import OSEmulator
 from repro.workloads.kernels import SUITE, KernelSpec
@@ -66,6 +67,8 @@ def run_kernel(
         record_sim_stats(obs, sim)
         obs.counters.inc("run.instructions", result.executed)
         obs.counters.inc("run.kernels", 1)
+        if obs.prof.enabled:
+            record_sim_profile(obs.prof, sim)
     return KernelRun(
         kernel=name,
         isa=isa,

@@ -140,3 +140,23 @@ class TestDefectInjection:
         bad = self.mutate(unit, source=unit.source + "\n    __o = self.obs")
         codes = codes_of(check_unit(bad, "t", chain=True, observe=False))
         assert "CHK040" in codes
+
+    def test_prof_residue_when_trace_off_is_chk040(self, alpha_walk):
+        unit = alpha_walk[0]
+        bad = self.mutate(
+            unit, source=unit.source + "\n    self._prof_hits[0] = 1"
+        )
+        codes = codes_of(
+            check_unit(bad, "t", chain=True, observe=False, trace=False)
+        )
+        assert "CHK040" in codes
+
+    def test_prof_reference_is_allowed_when_trace_on(self, alpha_walk):
+        unit = alpha_walk[0]
+        probed = self.mutate(
+            unit, source=unit.source + "\n    self._prof_hits[0] = 1"
+        )
+        codes = codes_of(
+            check_unit(probed, "t", chain=True, observe=False, trace=True)
+        )
+        assert "CHK040" not in codes

@@ -211,6 +211,22 @@ class TestZeroOverheadResidue:
         result = check_generated(gen_one_all, gen_observe.source)
         assert "CHK040" in codes_of(result)
 
+    def test_chk040_trace_probe_residue_in_trace_off_module(self, toy_spec):
+        from repro.synth import SynthOptions, synthesize
+
+        traced = synthesize(toy_spec, "one_all", SynthOptions(trace=True))
+        plain = synthesize(toy_spec, "one_all")
+        # the trace-on sibling's source claimed by a trace-off module:
+        # guest-PC probe residue the promise forbids
+        result = check_generated(plain, traced.source)
+        assert "CHK040" in codes_of(result)
+
+    def test_chk040_accepts_probes_in_trace_on_module(self, toy_spec):
+        from repro.synth import SynthOptions, synthesize
+
+        traced = synthesize(toy_spec, "one_all", SynthOptions(trace=True))
+        assert "CHK040" not in codes_of(check_generated(traced))
+
     def test_chk041_hops_residue_in_nonprofile_module(self, gen_one_all):
         source = replaced(
             gen_one_all,

@@ -79,3 +79,148 @@ class TestCli:
     def test_unknown_isa_rejected(self):
         with pytest.raises(SystemExit):
             main(["interfaces", "mips"])
+
+    def test_stats_unknown_isa_exits_2_with_known_list(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "mips"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown ISA 'mips'" in err
+        assert "alpha" in err and "arm" in err
+
+    def test_profile_unknown_isa_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "mips"])
+        assert excinfo.value.code == 2
+        assert "known ISAs" in capsys.readouterr().err
+
+
+LOOP = """
+_start:
+        li $1, 60
+loop:   subq $1, 1, $1
+        bne $1, loop
+        li $16, 5
+        li $0, 1
+        call_pal 0x83
+"""
+
+
+@pytest.fixture()
+def loop_program(tmp_path):
+    path = tmp_path / "loop.s"
+    path.write_text(LOOP)
+    return str(path)
+
+
+class TestProfileCli:
+    def test_run_profile_prints_text_report(self, loop_program, capsys):
+        status = main(
+            ["run", "alpha", loop_program, "--buildset", "block_min",
+             "--profile"]
+        )
+        assert status == 5
+        out = capsys.readouterr().out
+        assert "== profile ==" in out
+        assert "Hot translated units" in out
+
+    def test_run_profile_writes_chrome_trace(
+        self, loop_program, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "trace.json"
+        status = main(
+            ["run", "alpha", loop_program, "--buildset", "block_min",
+             f"--profile={out}"]
+        )
+        assert status == 5
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+        assert all(e["ph"] == "X" for e in doc["traceEvents"][1:])
+        assert doc["otherData"]["isa"] == "alpha"
+        # profiling alone does not print a stats report
+        assert "== stats ==" not in capsys.readouterr().out
+
+    def test_profile_command_json_document(self, capsys):
+        import json
+
+        status = main(
+            ["profile", "alpha", "block_min", "--kernel", "fib", "--json"]
+        )
+        assert status == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["meta"]["isa"] == "alpha"
+        assert doc["meta"]["buildset"] == "block_min"
+        assert doc["hot_blocks"], "no units attributed"
+        assert doc["kernels"][0]["kernel"] == "fib"
+        assert doc["failures"] == 0
+
+    def test_profile_command_export_files(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        folded = tmp_path / "stacks.folded"
+        status = main(
+            ["profile", "alpha", "block_min", "--kernel", "fib",
+             "--trace-out", str(trace), "--folded", str(folded)]
+        )
+        assert status == 0
+        assert "Hot translated units" in capsys.readouterr().out
+        assert json.loads(trace.read_text())["traceEvents"]
+        for line in folded.read_text().splitlines():
+            path, weight = line.rsplit(" ", 1)
+            assert path and int(weight) > 0
+
+
+class TestBenchCli:
+    @staticmethod
+    def _write(path, alpha):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "experiment": "table2_simulation_speed",
+                    "mips": {"block_min": {"alpha": alpha}},
+                }
+            )
+        )
+
+    def test_diff_regression_exits_nonzero(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, 2.0)
+        self._write(new, 1.7)  # -15%, past the default 10% threshold
+        assert main(["bench", "diff", str(old), str(new)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_diff_warn_only_and_clean_pass(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, 2.0)
+        self._write(new, 1.7)
+        assert main(["bench", "diff", str(old), str(new), "--warn-only"]) == 0
+        self._write(new, 1.95)
+        assert main(["bench", "diff", str(old), str(new)]) == 0
+
+    def test_diff_threshold_flag(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, 2.0)
+        self._write(new, 1.9)  # -5%
+        assert main(
+            ["bench", "diff", str(old), str(new), "--threshold", "0.02"]
+        ) == 1
+
+    def test_diff_unreadable_input_exits_2(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        self._write(old, 2.0)
+        assert main(["bench", "diff", str(old), str(tmp_path / "nope")]) == 2
+        assert "bench diff" in capsys.readouterr().err
+
+    def test_trail_lists_artifacts(self, tmp_path, capsys):
+        self._write(tmp_path / "BENCH_T2.json", 2.0)
+        assert main(["bench", "trail", "--dir", str(tmp_path)]) == 0
+        assert "BENCH_T2.json" in capsys.readouterr().out
+
+    def test_trail_empty_directory(self, tmp_path, capsys):
+        assert main(["bench", "trail", "--dir", str(tmp_path)]) == 0
+        assert "no BENCH_" in capsys.readouterr().out

@@ -42,6 +42,39 @@ class TestCounters:
         assert tree["rollback"]["total"] == 2
         assert tree["rollback"]["depth"]["4"] == 1
 
+    def test_as_tree_collision_is_order_independent(self):
+        # The same pair registered leaf-first vs prefix-first must render
+        # identically: items() sorts by name, so "x" always precedes
+        # "x.y", but insertion order into the store must not matter.
+        leaf_first, prefix_first = Counters(), Counters()
+        leaf_first.inc("x", 5)
+        leaf_first.inc("x.y", 7)
+        prefix_first.inc("x.y", 7)
+        prefix_first.inc("x", 5)
+        expected = {"x": {"total": 5, "y": 7}}
+        assert leaf_first.as_tree() == expected
+        assert prefix_first.as_tree() == expected
+
+    def test_as_tree_deep_collision_under_intermediate(self):
+        c = Counters()
+        c.inc("a.b", 1)
+        c.inc("a.b.c.d", 2)
+        assert c.as_tree() == {"a": {"b": {"total": 1, "c": {"d": 2}}}}
+
+    def test_put_overwrites_prior_incs(self):
+        # Gauge semantics: a put discards whatever inc accumulated, so
+        # re-recording a cumulative source cannot double-count.
+        c = Counters()
+        c.inc("timing.icache.hits", 40)
+        c.put("timing.icache.hits", 25)
+        assert c.get("timing.icache.hits") == 25
+
+    def test_inc_after_put_adds_to_gauge(self):
+        c = Counters()
+        c.put("blocks", 10)
+        c.inc("blocks", 3)
+        assert c.get("blocks") == 13
+
     def test_merge_sums(self):
         a, b = Counters(), Counters()
         a.inc("x", 1)

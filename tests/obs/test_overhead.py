@@ -54,6 +54,27 @@ class TestGeneratedModules:
             assert off_len < on_len
 
 
+class TestTraceProbes:
+    @pytest.mark.parametrize("buildset", ["one_min", "step_all"])
+    def test_disabled_source_has_no_prof_probes(self, alpha_spec, buildset):
+        off = synthesize(alpha_spec, buildset)  # defaults: trace=False
+        on = synthesize(alpha_spec, buildset, SynthOptions(trace=True))
+        assert "_prof_hits" not in off.source
+        assert "_prof_hits" in on.source
+
+    def test_trace_probe_is_bytecode_additive_only(self, alpha_spec):
+        off = synthesize(alpha_spec, "one_min")
+        on = synthesize(alpha_spec, "one_min", SynthOptions(trace=True))
+        for name in off.entry_names:
+            assert _bytecode_len(off.namespace[name]) < _bytecode_len(
+                on.namespace[name]
+            )
+
+    def test_observe_alone_emits_no_prof_probes(self, alpha_spec):
+        on = synthesize(alpha_spec, "one_min", SynthOptions(observe=True))
+        assert "_prof_hits" not in on.source
+
+
 class TestBlockPath:
     def test_disabled_do_block_is_the_plain_method(self, alpha_spec):
         generated = synthesize(alpha_spec, "block_min")
@@ -70,20 +91,45 @@ class TestBlockPath:
         sim = generated.make(obs=make_observability())
         assert sim.do_block.__func__ is SynthesizedSimulator._do_block_observed
 
+    def test_unprofiled_instance_binds_no_profiled_twins(self, alpha_spec):
+        generated = synthesize(alpha_spec, "block_min")
+        sim = generated.make()
+        for name in ("do_block", "run", "_chain_link", "_do_syscall",
+                     "rollback"):
+            assert name not in sim.__dict__
+
+    def test_profiled_instance_binds_the_profiled_dispatch(self, alpha_spec):
+        generated = synthesize(
+            alpha_spec, "block_min", SynthOptions(observe=True)
+        )
+        sim = generated.make(obs=make_observability(profile=True))
+        assert sim.do_block.__func__ is SynthesizedSimulator._do_block_profiled
+        assert sim.run.__func__ is SynthesizedSimulator._run_profiled
+        assert (
+            sim._chain_link.__func__
+            is SynthesizedSimulator._chain_link_profiled
+        )
+
     def test_translated_blocks_identical_on_and_off(self, alpha_spec):
         """Per-block-execution cost is unchanged: probes live outside the
         translated function, so its source is byte-identical either way."""
         image = assemble_kernel("alpha", SUITE["fib"], 5)
         sources = {}
-        for observe in (False, True):
-            generated = synthesize(
-                alpha_spec, "block_min", SynthOptions(observe=observe)
-            )
-            obs = make_observability(enabled=observe)
+        configs = {
+            "off": (SynthOptions(), make_observability(enabled=False)),
+            "observed": (SynthOptions(observe=True), make_observability()),
+            # profiling times around the unit call, never inside it
+            "profiled": (
+                SynthOptions(observe=True),
+                make_observability(profile=True),
+            ),
+        }
+        for label, (options, obs) in configs.items():
+            generated = synthesize(alpha_spec, "block_min", options)
             os_emu = OSEmulator(get_bundle("alpha").abi, obs=obs)
             sim = generated.make(syscall_handler=os_emu, obs=obs)
             load_image(sim.state, image, get_bundle("alpha").abi)
             sim.run(50)
             pc = next(iter(sim._cache))
-            sources[observe] = sim.block_source(pc)
-        assert sources[False] == sources[True]
+            sources[label] = sim.block_source(pc)
+        assert sources["off"] == sources["observed"] == sources["profiled"]

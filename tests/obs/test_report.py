@@ -45,6 +45,16 @@ class TestCollect:
         assert stats["counters"] == {}
         assert stats["events"]["recent"] == []
 
+    def test_ring_truncation_surfaces_as_counter_gauge(self):
+        obs = Observability(ring_capacity=4)
+        for i in range(10):
+            obs.events.emit("e", i=i)
+        stats = collect(obs)
+        assert stats["events"]["dropped"] == 6
+        assert stats["counters"]["events"]["dropped"] == 6
+        # collect() is idempotent: put() is a gauge, not an inc
+        assert collect(obs)["counters"]["events"]["dropped"] == 6
+
 
 class TestRendering:
     def test_render_json_round_trips(self):
@@ -60,6 +70,17 @@ class TestRendering:
 
     def test_render_text_empty(self):
         assert "no counters" in render_text(collect(NULL_OBS))
+
+    def test_render_text_warns_on_dropped_events(self):
+        obs = Observability(ring_capacity=4)
+        for i in range(9):
+            obs.events.emit("e", i=i)
+        text = render_text(collect(obs))
+        assert "WARNING" in text
+        assert "5 event(s)" in text
+
+    def test_render_text_no_warning_without_drops(self):
+        assert "WARNING" not in render_text(collect(_populated_obs()))
 
 
 class TestMakeObservability:

@@ -1,0 +1,141 @@
+"""Bench-trajectory regression diffing (`repro bench diff` / `trail`)."""
+
+import json
+
+import pytest
+
+from repro.prof.bench import (
+    DEFAULT_THRESHOLD,
+    bench_trail,
+    diff_bench,
+    flatten_mips,
+    load_bench,
+    render_diff,
+    render_trail,
+)
+
+
+def t2_doc(alpha_block: float, samples=None) -> dict:
+    doc = {
+        "experiment": "table2_simulation_speed",
+        "scale": 0.5,
+        "mips": {
+            "block_min": {"alpha": alpha_block, "arm": 1.2},
+            "one_min": {"alpha": 0.8, "arm": 0.5},
+        },
+    }
+    if samples is not None:
+        doc["samples"] = {"block_min": {"alpha": samples}}
+    return doc
+
+
+class TestFlattenMips:
+    def test_flattens_nested_paths(self):
+        cells = flatten_mips(t2_doc(2.0))
+        assert cells[("block_min", "alpha")] == 2.0
+        assert cells[("one_min", "arm")] == 0.5
+        assert len(cells) == 4
+
+    def test_prefers_min_of_samples_over_headline(self):
+        # The headline is best-of-reps; the min sample is the
+        # least-disturbed repetition and the one to regress against.
+        cells = flatten_mips(t2_doc(2.0, samples=[1.9, 1.7]))
+        assert cells[("block_min", "alpha")] == 1.7
+        assert cells[("one_min", "alpha")] == 0.8  # no samples: headline
+
+    def test_skips_derived_leaves(self):
+        doc = {
+            "mips": {
+                "alpha": {"on": 2.0, "off": 1.0, "speedup": 2.0},
+                "ratio": 3.0,
+            }
+        }
+        cells = flatten_mips(doc)
+        assert set(cells) == {("alpha", "on"), ("alpha", "off")}
+
+    def test_ignores_non_numeric_and_bool(self):
+        cells = flatten_mips({"mips": {"a": True, "b": "fast", "c": 1.5}})
+        assert cells == {("c",): 1.5}
+
+
+class TestDiffBench:
+    def test_detects_injected_regression_and_exits_nonzero(self):
+        # The acceptance fixture: alpha/block_min loses 15% (past the
+        # default 10% threshold); everything else holds.
+        diff = diff_bench(t2_doc(2.0), t2_doc(1.7))
+        assert diff.threshold == DEFAULT_THRESHOLD
+        assert [row.label for row in diff.regressions] == ["block_min/alpha"]
+        assert diff.regressions[0].delta == pytest.approx(-0.15)
+        assert diff.exit_code == 1
+
+    def test_regression_via_min_sample_despite_flat_headline(self):
+        # A regression can hide behind one lucky rep: the headline is
+        # unchanged but the worst repetition fell 21%.
+        old = t2_doc(2.0, samples=[1.9, 1.9])
+        new = t2_doc(2.0, samples=[1.5, 2.0])
+        diff = diff_bench(old, new)
+        assert diff.exit_code == 1
+
+    def test_within_threshold_passes(self):
+        diff = diff_bench(t2_doc(2.0), t2_doc(1.85))  # -7.5%
+        assert diff.regressions == []
+        assert diff.exit_code == 0
+
+    def test_custom_threshold(self):
+        assert diff_bench(t2_doc(2.0), t2_doc(1.85), threshold=0.05).exit_code == 1
+
+    def test_improvement_is_not_a_regression(self):
+        assert diff_bench(t2_doc(2.0), t2_doc(3.0)).exit_code == 0
+
+    def test_cell_set_changes_are_reported_not_fatal(self):
+        old = t2_doc(2.0)
+        new = t2_doc(2.0)
+        del new["mips"]["one_min"]
+        new["mips"]["step_all"] = {"alpha": 0.1}
+        diff = diff_bench(old, new)
+        assert "one_min/alpha" in diff.only_old
+        assert "step_all/alpha" in diff.only_new
+        assert diff.exit_code == 0
+
+    def test_experiment_mismatch_is_surfaced(self):
+        other = t2_doc(2.0)
+        other["experiment"] = "chaining_speedup"
+        diff = diff_bench(t2_doc(2.0), other)
+        assert "vs" in diff.experiment
+
+    def test_as_dict_round_trips_json(self):
+        diff = diff_bench(t2_doc(2.0), t2_doc(1.7))
+        doc = json.loads(json.dumps(diff.as_dict()))
+        assert doc["regressions"] == 1
+        regressed = [c for c in doc["cells"] if c["regressed"]]
+        assert regressed[0]["key"] == "block_min/alpha"
+
+    def test_render_flags_regressions(self):
+        text = render_diff(diff_bench(t2_doc(2.0), t2_doc(1.7)))
+        assert "REGRESSED" in text
+        assert "-15.0%" in text
+        assert "1 regression(s)" in text
+
+
+class TestBenchTrail:
+    def test_summarizes_a_results_directory(self, tmp_path):
+        (tmp_path / "BENCH_T2.json").write_text(json.dumps(t2_doc(2.0)))
+        (tmp_path / "BENCH_A4.json").write_text("{not json")
+        (tmp_path / "notes.txt").write_text("ignored")
+        rows = bench_trail(str(tmp_path))
+        assert [row["file"] for row in rows] == [
+            "BENCH_A4.json", "BENCH_T2.json"
+        ]
+        assert rows[0]["experiment"] == "(unreadable)"
+        assert rows[1]["cells"] == 4
+        assert rows[1]["geomean_mips"] > 0
+        text = render_trail(rows)
+        assert "BENCH_T2.json" in text and "(unreadable)" in text
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert bench_trail(str(tmp_path / "nope")) == []
+
+    def test_load_bench_reads_files(self, tmp_path):
+        path = tmp_path / "BENCH_X.json"
+        path.write_text(json.dumps({"experiment": "x"}))
+        assert load_bench(str(path))["experiment"] == "x"

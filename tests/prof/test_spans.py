@@ -1,0 +1,161 @@
+"""Unit tests for the nested wall-clock span tracer."""
+
+import pytest
+
+from repro.prof.spans import (
+    EXECUTE,
+    NULL_SPANS,
+    TRANSLATE,
+    NullSpanTracer,
+    SpanNode,
+    SpanTracer,
+)
+
+
+class FakeClock:
+    """Deterministic nanosecond clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def __call__(self) -> int:
+        return self.now
+
+    def advance(self, ns: int) -> None:
+        self.now += ns
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestSpanTracer:
+    def test_nesting_builds_the_tree(self, clock):
+        t = SpanTracer(clock=clock)
+        t.begin(EXECUTE)
+        clock.advance(100)
+        t.begin(TRANSLATE)
+        clock.advance(40)
+        t.end()
+        clock.advance(60)
+        t.end()
+        tree = t.tree()
+        assert tree[EXECUTE]["total_ns"] == 200
+        assert tree[EXECUTE]["children"][TRANSLATE]["total_ns"] == 40
+        assert TRANSLATE not in tree  # nested, not top-level
+
+    def test_self_time_excludes_children(self, clock):
+        t = SpanTracer(clock=clock)
+        with t.span(EXECUTE):
+            clock.advance(100)
+            with t.span(TRANSLATE):
+                clock.advance(40)
+        node = t.tree()[EXECUTE]
+        assert node["total_ns"] == 140
+        assert node["self_ns"] == 100
+        assert node["children"][TRANSLATE]["self_ns"] == 40
+
+    def test_count_min_max_aggregate_per_path(self, clock):
+        t = SpanTracer(clock=clock)
+        for dur in (30, 10, 20):
+            with t.span(TRANSLATE):
+                clock.advance(dur)
+        node = t.tree()[TRANSLATE]
+        assert node["count"] == 3
+        assert node["total_ns"] == 60
+        assert node["min_ns"] == 10
+        assert node["max_ns"] == 30
+
+    def test_same_name_at_different_depths_is_two_nodes(self, clock):
+        t = SpanTracer(clock=clock)
+        with t.span(TRANSLATE):
+            clock.advance(5)
+        with t.span(EXECUTE):
+            with t.span(TRANSLATE):
+                clock.advance(7)
+        tree = t.tree()
+        assert tree[TRANSLATE]["total_ns"] == 5
+        assert tree[EXECUTE]["children"][TRANSLATE]["total_ns"] == 7
+
+    def test_span_is_exception_safe(self, clock):
+        t = SpanTracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with t.span(EXECUTE):
+                clock.advance(10)
+                raise RuntimeError("guest exited")
+        assert t.depth == 0
+        assert t.tree()[EXECUTE]["count"] == 1
+
+    def test_events_record_depth_and_origin_relative_start(self, clock):
+        clock.advance(1000)  # non-zero construction time
+        t = SpanTracer(clock=clock)
+        t.begin(EXECUTE)
+        clock.advance(100)
+        t.begin(TRANSLATE)
+        clock.advance(40)
+        t.end()
+        t.end()
+        # completed inner-first: (name, depth, start_ns, dur_ns)
+        assert t.events == [
+            (TRANSLATE, 1, 100, 40),
+            (EXECUTE, 0, 0, 140),
+        ]
+
+    def test_event_cap_counts_drops_but_keeps_aggregates(self, clock):
+        t = SpanTracer(clock=clock, max_events=2)
+        for _ in range(5):
+            with t.span(TRANSLATE):
+                clock.advance(1)
+        assert len(t.events) == 2
+        assert t.events_dropped == 3
+        assert t.tree()[TRANSLATE]["count"] == 5  # the tree never drops
+
+    def test_clear_resets_everything(self, clock):
+        t = SpanTracer(clock=clock)
+        with t.span(EXECUTE):
+            clock.advance(10)
+        t.clear()
+        assert t.tree() == {}
+        assert t.events == []
+        assert t.events_dropped == 0
+        assert t.depth == 0
+
+    def test_paths_is_preorder(self, clock):
+        t = SpanTracer(clock=clock)
+        with t.span(EXECUTE):
+            clock.advance(1)
+            with t.span(TRANSLATE):
+                clock.advance(1)
+        with t.span(TRANSLATE):
+            clock.advance(1)
+        labels = [path for path, _ in t.paths()]
+        assert labels == [(EXECUTE,), (EXECUTE, TRANSLATE), (TRANSLATE,)]
+
+
+class TestSpanNode:
+    def test_self_ns_never_negative(self):
+        node = SpanNode("x")
+        node.record(10)
+        child = node.child("y")
+        child.record(25)  # clock skew / re-entrancy artifacts
+        assert node.self_ns == 0
+
+
+class TestNullSpanTracer:
+    def test_inert_and_shared_context(self):
+        n = NullSpanTracer()
+        ctx1 = n.span(EXECUTE)
+        ctx2 = n.span(TRANSLATE)
+        assert ctx1 is ctx2  # one shared nullcontext, no allocation
+        with ctx1:
+            pass
+        n.begin("x")
+        n.end()
+        n.clear()
+        assert n.tree() == {}
+        assert n.paths() == []
+        assert n.events == ()
+        assert n.events_dropped == 0
+        assert not n.enabled
+        assert not NULL_SPANS.enabled
